@@ -1,0 +1,61 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure from the paper and writes
+its rendering to ``bench_results/<name>.txt`` (and stdout, visible with
+``pytest -s``).
+
+Scope control: set ``REPRO_BENCH_SCALE=full`` for the paper's full
+parameter grids; the default ``quick`` scale trims packet-size and sweep
+grids so the whole suite finishes in minutes while preserving every
+figure's shape.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+class BenchScope:
+    """Parameter grids for the current scale."""
+
+    def __init__(self, full: bool) -> None:
+        self.full = full
+        # Packet-size grids.
+        self.sizes_bwdrop = ([64, 128, 256, 512, 1024, 1518] if full
+                             else [64, 256, 1518])
+        self.sizes_sensitivity = ([128, 256, 512, 1024, 1518] if full
+                                  else [128, 512, 1518])
+        self.sizes_pair = [128, 1518]
+        # Sweep resolutions.
+        self.bw_rates = ([5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65]
+                         if full else [5, 15, 25, 35, 45, 55, 65])
+        self.n_packets = 2500 if full else 1200
+        # Memcached knee measurements must outlast the ring+FIFO backlog
+        # (~500 requests) by a wide margin.
+        self.memcached_requests = 8000 if full else 4000
+        self.proc_times = ([10, 100, 300, 500, 700, 1000, 3000, 5000, 10000]
+                           if full else [10, 300, 1000, 3000, 10000])
+        self.freqs = [1.0, 2.0, 3.0, 4.0] if full else [1.0, 2.0, 4.0]
+        self.rps_grid = ([100e3, 200e3, 300e3, 400e3, 500e3, 600e3,
+                          700e3, 800e3] if full
+                         else [100e3, 250e3, 400e3, 600e3, 750e3])
+
+
+@pytest.fixture(scope="session")
+def scope():
+    return BenchScope(os.environ.get("REPRO_BENCH_SCALE", "quick") == "full")
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

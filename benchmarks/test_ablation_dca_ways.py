@@ -1,0 +1,48 @@
+"""Ablation — DCA way-partition size.
+
+The paper fixes DCA at 4/16 LLC ways (256KiB of a 1MiB-per-4MiB LLC for
+network data) and shows that a too-small partition leaks in-flight DMA
+data to DRAM (Fig 13).  This ablation sweeps the reserved way count at a
+fixed large ring, measuring throughput and leaked lines.
+"""
+
+from dataclasses import replace
+
+from repro.harness.report import format_table
+from repro.harness.runner import run_fixed_load
+from repro.system.presets import gem5_default, with_dca, with_llc_size
+
+MIB = 1024 * 1024
+
+
+def run_ablation():
+    rows = []
+    for ways in (0, 2, 4, 8):
+        base = with_llc_size(gem5_default(), 1 * MIB)
+        config = with_dca(base, ways > 0, io_ways=ways)
+        config = config.variant(
+            nic=replace(config.nic, rx_ring_size=2048, tx_ring_size=2048),
+            mempool_mbufs=5000)
+        result = run_fixed_load(config, "rxptx", 256, 20.0,
+                                n_packets=3000,
+                                app_options={"proc_time_ns": 2000.0})
+        rows.append((ways, result.service_gbps, result.drop_rate,
+                     result.dma_leaked_lines, result.llc_miss_rate))
+    return rows
+
+
+def test_ablation_dca_ways(benchmark, save_result):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = format_table(
+        "Ablation: LLC ways reserved for DCA (ring 2048, LLC 1MiB, "
+        "RXpTX-2us at 20Gbps offered)",
+        ["io ways", "service Gbps", "drop", "leaked lines",
+         "LLC miss rate"],
+        [[w, f"{svc:.1f}", f"{drop * 100:.1f}%", leaks, f"{miss:.2f}"]
+         for w, svc, drop, leaks, miss in rows])
+    save_result("ablation_dca_ways", table)
+
+    by_ways = {w: (svc, drop, leaks, miss) for w, svc, drop, leaks,
+               miss in rows}
+    # More reserved ways leak less in-flight DMA data.
+    assert by_ways[8][2] <= by_ways[2][2]

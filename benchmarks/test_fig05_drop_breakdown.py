@@ -1,0 +1,35 @@
+"""Fig 5 — breakdown of packet-drop causes at the knee rate.
+
+Paper: TestPMD shifts from ~86% CoreDrops at 64B to 100% DmaDrops at
+1518B; TouchFwd/TouchDrop stay CoreDrop-dominated; RXpTX shifts from
+DmaDrops to CoreDrops as processing time grows; memcached drops are
+mostly CoreDrops.
+"""
+
+from repro.harness.experiments import fig5_drop_breakdown
+from repro.harness.report import format_table
+
+
+def test_fig05_drop_breakdown(benchmark, scope, save_result):
+    result = benchmark.pedantic(
+        fig5_drop_breakdown, kwargs={"n_packets": scope.n_packets},
+        rounds=1, iterations=1)
+    rows = []
+    for label, data in result.items():
+        rows.append([
+            label,
+            f"{data['CoreDrop'] * 100:.1f}%",
+            f"{data['DmaDrop'] * 100:.1f}%",
+            f"{data['TxDrop'] * 100:.1f}%",
+            f"{data['drop_rate'] * 100:.1f}%",
+        ])
+    table = format_table(
+        "Fig 5: drop-cause breakdown at high packet rate",
+        ["Workload", "CoreDrop", "DmaDrop", "TxDrop", "total drop"],
+        rows)
+    save_result("fig05_drop_breakdown", table)
+
+    # Shape assertions from the paper's discussion.
+    assert result["TestPMD-64B"]["CoreDrop"] > 0.5
+    assert result["TestPMD-1518B"]["DmaDrop"] > 0.7
+    assert result["TouchFwd-1518B"]["CoreDrop"] > 0.5

@@ -1,0 +1,38 @@
+"""Fig 10 — sensitivity of MSB/RPS to L1 cache size.
+
+Paper: DPDK apps are insensitive to L1 size (tiny hot loop); iperf gains
+for packets >256B (copies); both memcached flavours show some L1
+sensitivity.
+"""
+
+from repro.harness.experiments import fig10_l1_sensitivity
+from repro.harness.report import format_series
+
+
+def _flatten(result):
+    series = {}
+    for app, per_variant in result.items():
+        for variant, points in per_variant.items():
+            series[f"{app}/{variant}"] = points
+    return series
+
+
+def test_fig10_l1_sensitivity(benchmark, scope, save_result):
+    result = benchmark.pedantic(
+        fig10_l1_sensitivity,
+        kwargs={"packet_sizes": scope.sizes_sensitivity},
+        rounds=1, iterations=1)
+    text = format_series(
+        "Fig 10: MSB (Gbps) / RPS (k) vs L1 cache size",
+        _flatten(result), x_label="pkt size B", y_label="MSB/kRPS")
+    save_result("fig10_l1_sensitivity", text)
+
+    # DPDK forwarding is L1-insensitive: best and worst variant within 15%.
+    testpmd = result["TestPMD"]
+    largest_size = scope.sizes_sensitivity[-1]
+
+    def msb_at(points, size):
+        return dict(points)[size]
+
+    values = [msb_at(points, largest_size) for points in testpmd.values()]
+    assert max(values) <= 1.15 * max(min(values), 0.01)

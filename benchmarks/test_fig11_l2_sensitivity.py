@@ -1,0 +1,35 @@
+"""Fig 11 — sensitivity of MSB/RPS to L2 cache size.
+
+Paper: shrinking L2 to 256KiB degrades TestPMD and RXpTX-10ns (DPDK's
+working set is between 256KiB and 1MiB); iperf keeps improving up to a
+4MiB L2 (the kernel stack's working set exceeds 1MiB).
+"""
+
+from repro.harness.experiments import fig11_l2_sensitivity
+from repro.harness.report import format_series
+
+
+def _flatten(result):
+    return {f"{app}/{variant}": points
+            for app, per_variant in result.items()
+            for variant, points in per_variant.items()}
+
+
+def test_fig11_l2_sensitivity(benchmark, scope, save_result):
+    result = benchmark.pedantic(
+        fig11_l2_sensitivity,
+        kwargs={"packet_sizes": scope.sizes_sensitivity},
+        rounds=1, iterations=1)
+    text = format_series(
+        "Fig 11: MSB (Gbps) / RPS (k) vs L2 cache size",
+        _flatten(result), x_label="pkt size B", y_label="MSB/kRPS")
+    save_result("fig11_l2_sensitivity", text)
+
+    def msb_at(points, size):
+        return dict(points)[size]
+
+    # iperf: 4MiB L2 beats 256KiB L2 at MTU frames (kernel WSS > 1MiB;
+    # small frames are overhead-dominated and show little L2 effect).
+    size = scope.sizes_sensitivity[-1]
+    iperf = result["iperf"]
+    assert msb_at(iperf["4MiB-L2"], size) > msb_at(iperf["256KiB-L2"], size)

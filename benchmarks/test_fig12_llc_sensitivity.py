@@ -1,0 +1,34 @@
+"""Fig 12 — sensitivity of MSB/RPS to LLC size.
+
+Paper: no sensitivity between LLC size and performance even up to 64MiB —
+a single network application causes low LLC contention.
+"""
+
+from repro.harness.experiments import fig12_llc_sensitivity
+from repro.harness.report import format_series
+
+
+def _flatten(result):
+    return {f"{app}/{variant}": points
+            for app, per_variant in result.items()
+            for variant, points in per_variant.items()}
+
+
+def test_fig12_llc_sensitivity(benchmark, scope, save_result):
+    result = benchmark.pedantic(
+        fig12_llc_sensitivity,
+        kwargs={"packet_sizes": scope.sizes_sensitivity},
+        rounds=1, iterations=1)
+    text = format_series(
+        "Fig 12: MSB (Gbps) / RPS (k) vs LLC size",
+        _flatten(result), x_label="pkt size B", y_label="MSB/kRPS")
+    save_result("fig12_llc_sensitivity", text)
+
+    def spread(per_variant, size):
+        values = [dict(points)[size] for points in per_variant.values()]
+        return max(values) / max(min(values), 1e-9)
+
+    # LLC-insensitive across the sweep for the forwarding apps.
+    for app in ("TestPMD", "TouchFwd"):
+        for size in scope.sizes_sensitivity:
+            assert spread(result[app], size) < 1.2

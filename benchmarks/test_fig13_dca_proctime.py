@@ -1,0 +1,36 @@
+"""Fig 13 — DCA policy: processing-time sweep with a 4096-entry ring.
+
+Paper: as the per-burst processing interval grows past a threshold the
+core lags the RX rate, the RX ring fills, drops begin, and the LLC miss
+rate rises because the 256KiB DCA partition cannot hold the in-flight
+ring data (DMA leaks).
+"""
+
+from repro.harness.experiments import fig13_dca_proctime
+from repro.harness.report import format_series
+
+
+def test_fig13_dca_proctime(benchmark, scope, save_result):
+    result = benchmark.pedantic(
+        fig13_dca_proctime,
+        kwargs={"packet_sizes": [64, 256, 1518],
+                "proc_times_ns": scope.proc_times,
+                "n_packets": scope.n_packets},
+        rounds=1, iterations=1)
+    series = {}
+    for size, rows in result.items():
+        series[f"{size}-droprate"] = [(p, d) for p, d, _m in rows]
+        series[f"{size}-missrate"] = [(p, m) for p, _d, m in rows]
+    text = format_series(
+        "Fig 13: RXpTX drop rate and LLC miss rate vs processing time "
+        "(ring 4096, LLC 1MiB, DCA 4/16 ways)",
+        series, x_label="proc ns", y_label="rate")
+    save_result("fig13_dca_proctime", text)
+
+    for size, rows in result.items():
+        first_drop, last_drop = rows[0][1], rows[-1][1]
+        first_miss, last_miss = rows[0][2], rows[-1][2]
+        # Drops appear as processing time grows...
+        assert last_drop > first_drop
+        # ...and the LLC miss rate rises with them (the DMA leak).
+        assert last_miss > first_miss

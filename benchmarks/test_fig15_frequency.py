@@ -1,0 +1,44 @@
+"""Fig 15 — effect of core frequency on MSB/RPS.
+
+Paper: MSB improves with frequency when the application is core-bound;
+shallow functions (TestPMD, RXpTX) become IO-bound at large packet sizes
+and stop scaling, while TouchFwd (deep) and both memcached flavours keep
+scaling.
+"""
+
+from repro.harness.experiments import fig15_frequency
+from repro.harness.report import format_series
+
+
+def _flatten(result):
+    return {f"{app}/{variant}": points
+            for app, per_variant in result.items()
+            for variant, points in per_variant.items()}
+
+
+def test_fig15_frequency(benchmark, scope, save_result):
+    result = benchmark.pedantic(
+        fig15_frequency,
+        kwargs={"packet_sizes": scope.sizes_sensitivity,
+                "freqs_ghz": scope.freqs},
+        rounds=1, iterations=1)
+    text = format_series(
+        "Fig 15: MSB (Gbps) / RPS (k) vs core frequency",
+        _flatten(result), x_label="pkt size B", y_label="MSB/kRPS")
+    save_result("fig15_frequency", text)
+
+    lo, hi = f"{scope.freqs[0]:.0f}GHz", f"{scope.freqs[-1]:.0f}GHz"
+    small, large = (scope.sizes_sensitivity[0],
+                    scope.sizes_sensitivity[-1])
+
+    def value(app, variant, size):
+        return dict(result[app][variant])[size]
+
+    # Core-bound: TouchFwd scales with frequency at every size.
+    assert value("TouchFwd", hi, large) > 1.8 * value("TouchFwd", lo, large)
+    # IO-bound: TestPMD at 1518B stops scaling between mid and top freq.
+    assert value("TestPMD", hi, large) < 1.3 * value("TestPMD",
+                                                     f"{scope.freqs[-2]:.0f}GHz",
+                                                     large)
+    # TestPMD at small sizes is core-bound and does scale.
+    assert value("TestPMD", hi, small) > 1.5 * value("TestPMD", lo, small)

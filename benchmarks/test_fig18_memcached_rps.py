@@ -1,0 +1,37 @@
+"""Fig 18 — memcached throughput vs drop rate.
+
+Paper: MemcachedDPDK sustains ~709k RPS and MemcachedKernel ~218k RPS
+before the drop rate shoots up.
+"""
+
+from repro.harness.experiments import fig18_memcached_rps, max_sustainable_rps
+from repro.harness.report import format_series
+
+
+def test_fig18_memcached_rps(benchmark, scope, save_result):
+    result = benchmark.pedantic(
+        fig18_memcached_rps,
+        kwargs={"rps_points": scope.rps_grid,
+                "n_requests": scope.memcached_requests},
+        rounds=1, iterations=1)
+    text = format_series(
+        "Fig 18: memcached requests/second vs drop rate",
+        result, x_label="kRPS", y_label="drop rate")
+    save_result("fig18_memcached_rps", text)
+
+    def knee(points, threshold=0.01):
+        best = 0.0
+        for rps, drop in points:
+            if drop <= threshold:
+                best = rps
+            else:
+                break
+        return best
+
+    kernel_knee = knee(result["memcachedKernel"])
+    dpdk_knee = knee(result["memcachedDpdk"])
+    # DPDK sustains several times the kernel's request rate
+    # (paper: 709k vs 218k ~ 3.3x).
+    assert dpdk_knee > 2.0 * kernel_knee
+    assert 100 <= kernel_knee <= 400
+    assert 450 <= dpdk_knee <= 900

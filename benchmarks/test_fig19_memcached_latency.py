@@ -1,0 +1,38 @@
+"""Fig 19 — memcached response latency and drop rate vs core frequency.
+
+Paper: at high request rates, response time rises sharply as the core
+slows down; once drops begin, reported latency can fall because dropped
+packets stop contributing samples.
+"""
+
+from repro.harness.experiments import fig19_memcached_latency
+from repro.harness.report import format_series
+
+
+def test_fig19_memcached_latency(benchmark, scope, save_result):
+    result = benchmark.pedantic(
+        fig19_memcached_latency,
+        kwargs={"freqs_ghz": [1.0, 3.0] if not scope.full
+                else [1.0, 2.0, 3.0, 4.0],
+                "n_requests": scope.memcached_requests},
+        rounds=1, iterations=1)
+    series = {}
+    for app, per_freq in result.items():
+        for freq, rows in per_freq.items():
+            series[f"{app}/{freq}-NL"] = [(rps, lat) for rps, lat, _d in rows]
+            series[f"{app}/{freq}-DR"] = [(rps, d) for rps, _lat, d in rows]
+    text = format_series(
+        "Fig 19: memcached normalized latency (NL) and drop rate (DR) "
+        "vs offered kRPS, per core frequency",
+        series, x_label="kRPS", y_label="norm-latency / drop")
+    save_result("fig19_memcached_latency", text)
+
+    for app, per_freq in result.items():
+        freqs = sorted(per_freq)
+        slow_rows = per_freq[freqs[0]]       # 1GHz
+        fast_rows = per_freq[freqs[-1]]      # 3 or 4GHz
+        # At the highest offered rate the slow core is visibly worse:
+        # higher normalized latency or more drops.
+        _rps, slow_lat, slow_drop = slow_rows[-1]
+        _rps, fast_lat, fast_drop = fast_rows[-1]
+        assert slow_lat > fast_lat * 1.1 or slow_drop > fast_drop + 0.05

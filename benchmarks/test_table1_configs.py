@@ -1,0 +1,16 @@
+"""Table I — simulated and real system configurations."""
+
+from repro.harness.experiments import table1_configs
+from repro.harness.report import format_table
+
+
+def test_table1_configs(benchmark, save_result):
+    rows = benchmark.pedantic(table1_configs, rounds=1, iterations=1)
+    params = list(next(iter(rows.values())).keys())
+    table = format_table(
+        "Table I: simulated (gem5) and real (altra) configurations",
+        ["Parameter"] + list(rows.keys()),
+        [[p] + [rows[label][p] for label in rows] for p in params])
+    save_result("table1_configs", table)
+    assert rows["gem5"]["Core freq"] == "3GHz"
+    assert rows["altra"]["DCA/DDIO"] == "disabled"

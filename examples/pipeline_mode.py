@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""DPDK pipeline mode: two cores joined by an rte_ring (paper §II.A).
+
+Run-to-completion mode processes each packet fully on one core; pipeline
+mode splits RX and packet processing across cores connected by a
+user-level ring buffer.  This example runs the same deep-touch workload
+both ways and compares sustained throughput and per-core utilization.
+
+Run:  python examples/pipeline_mode.py
+"""
+
+from repro.apps.touchfwd import TouchFwd
+from repro.harness.report import format_table
+from repro.loadgen.ether_load_gen import SyntheticConfig
+from repro.system.node import DpdkNode
+from repro.system.presets import gem5_default
+
+PACKET_SIZE = 1518
+RATE_GBPS = 12.0
+COUNT = 4000
+
+
+def run_to_completion():
+    node = DpdkNode(gem5_default())
+    node.install_app(TouchFwd)
+    loadgen = node.attach_loadgen()
+    node.start()
+    loadgen.start_synthetic(SyntheticConfig(packet_size=PACKET_SIZE,
+                                            rate_gbps=RATE_GBPS,
+                                            count=COUNT))
+    node.run_us(6000.0)
+    return node, loadgen
+
+
+def pipeline():
+    node = DpdkNode(gem5_default())
+    node.install_pipeline_app(touch_payload=True)
+    loadgen = node.attach_loadgen()
+    node.start()
+    loadgen.start_synthetic(SyntheticConfig(packet_size=PACKET_SIZE,
+                                            rate_gbps=RATE_GBPS,
+                                            count=COUNT))
+    node.run_us(6000.0)
+    return node, loadgen
+
+
+def main() -> None:
+    rtc_node, rtc_lg = run_to_completion()
+    pipe_node, pipe_lg = pipeline()
+    rows = [
+        ["run-to-completion",
+         f"{rtc_lg.rx_packets}/{rtc_lg.tx_packets}",
+         f"{rtc_lg.drop_rate * 100:.1f}%",
+         f"{rtc_node.core.busy_ns / 1e3:.0f}",
+         "-"],
+        ["pipeline (2 cores)",
+         f"{pipe_lg.rx_packets}/{pipe_lg.tx_packets}",
+         f"{pipe_lg.drop_rate * 100:.1f}%",
+         f"{pipe_node.core.busy_ns / 1e3:.0f}",
+         f"{pipe_node.worker_core.busy_ns / 1e3:.0f}"],
+    ]
+    print(format_table(
+        f"TouchFwd at {RATE_GBPS} Gbps, {PACKET_SIZE}B frames",
+        ["mode", "rcvd/sent", "drop", "core0 busy us", "core1 busy us"],
+        rows))
+    print("\nPipeline mode relieves the RX core (compare core0 busy "
+          "time), but end-to-end capacity")
+    print("is still set by the slowest stage — the deep-touch worker — "
+          "plus the rte_ring handoff.")
+    print("Pipelining pays off when processing is split across several "
+          "worker stages, which is the")
+    print("multi-core pattern the paper describes for it (§II.A).")
+
+
+if __name__ == "__main__":
+    main()

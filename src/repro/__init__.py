@@ -1,0 +1,35 @@
+"""repro — Userspace networking in a simulated host.
+
+A Python reproduction of "Userspace Networking in gem5" (ISPASS 2024):
+a discrete-event host-network simulator with a DPDK-like userspace stack,
+a kernel-stack baseline, the EtherLoadGen hardware load generator, the
+paper's six-application benchmark suite, and a harness regenerating every
+table and figure of its evaluation.
+
+Top-level convenience imports cover the most common entry points; the
+subpackages hold the full API:
+
+- :mod:`repro.system` — platform presets and node builders
+- :mod:`repro.harness` — runs, MSB search, experiments
+- :mod:`repro.apps` — the benchmark applications
+- :mod:`repro.loadgen` — EtherLoadGen
+"""
+
+from repro.harness.msb import find_msb
+from repro.harness.runner import run_fixed_load, run_memcached
+from repro.system.node import DpdkNode, KernelNode
+from repro.system.presets import altra, gem5_baseline, gem5_default
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "find_msb",
+    "run_fixed_load",
+    "run_memcached",
+    "DpdkNode",
+    "KernelNode",
+    "altra",
+    "gem5_baseline",
+    "gem5_default",
+    "__version__",
+]

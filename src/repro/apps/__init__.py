@@ -1,0 +1,39 @@
+"""The network benchmark suite (paper §V).
+
+Six applications — four network-intensive microbenchmarks and two
+in-memory key-value stores — plus iperf as the representative
+kernel-networking application:
+
+- :class:`TestPmd` — RX/TX forwarding with configurable modes (macswap);
+  a *shallow* network function touching only the L2 header.
+- :class:`TouchFwd` — L2 forwarding that touches the entire payload; a
+  *deep* network function (DPI-like).
+- :class:`TouchDrop` — touches header+payload, then drops; pure RX.
+- :class:`RxPTx` — RX burst, wait a configurable processing interval,
+  TX; models network functions with different DMA-to-core use distances.
+- :class:`MemcachedDpdk` — KV store over DPDK.
+- :class:`MemcachedKernel` — KV store over the kernel stack (memcached +
+  POSIX).
+- :class:`IperfServer` — kernel-stack bulk-throughput receiver.
+"""
+
+from repro.apps.base import DpdkApp, KernelNetApp
+from repro.apps.testpmd import TestPmd
+from repro.apps.touchfwd import TouchFwd
+from repro.apps.touchdrop import TouchDrop
+from repro.apps.rxptx import RxPTx
+from repro.apps.memcached_dpdk import MemcachedDpdk
+from repro.apps.memcached_kernel import MemcachedKernel
+from repro.apps.iperf import IperfServer
+
+__all__ = [
+    "DpdkApp",
+    "KernelNetApp",
+    "TestPmd",
+    "TouchFwd",
+    "TouchDrop",
+    "RxPTx",
+    "MemcachedDpdk",
+    "MemcachedKernel",
+    "IperfServer",
+]

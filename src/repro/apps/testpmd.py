@@ -1,0 +1,48 @@
+"""TestPMD — the unmodified testpmd forwarding application.
+
+"TestPMD can receive packets from NIC in configurable batch sizes, swap
+their source and destination MAC addresses (if macswap forwarding mode is
+enabled), and then enqueue them in the TX ring buffer for transmission.
+TestPMD is a shallow network function, meaning that it only uses the L2
+header (14 bytes) to make the forwarding decision." (paper §V)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import DpdkApp
+from repro.cpu.core import Work
+from repro.dpdk.pmd import RxMbuf
+from repro.net.packet import Packet
+
+FORWARD_MODES = ("io", "macswap")
+
+
+class TestPmd(DpdkApp):
+    """Shallow L2 forwarder with io/macswap modes."""
+
+    def __init__(self, *args, forward_mode: str = "macswap", **kwargs) -> None:
+        if forward_mode not in FORWARD_MODES:
+            raise ValueError(
+                f"unknown forward mode {forward_mode!r}; "
+                f"expected one of {FORWARD_MODES}")
+        super().__init__(*args, **kwargs)
+        self.forward_mode = forward_mode
+
+    def frame_work(self, frame: RxMbuf) -> Optional[Work]:
+        """Per-packet application work for one received frame."""
+        if self.forward_mode == "io":
+            return None   # pure descriptor forwarding, no header rewrite
+        # macswap: read + rewrite the L2 header (one line).
+        return Work(
+            compute_cycles=self.costs.app_base_cycles,
+            reads=[frame.mbuf.data_addr],
+            writes=[frame.mbuf.data_addr],
+        )
+
+    def transform(self, frame: RxMbuf) -> Optional[Packet]:
+        """Outgoing packet for this frame (None drops it)."""
+        if self.forward_mode == "io":
+            return frame.packet
+        return frame.packet.response_to()   # MACs swapped, timestamp echoed

@@ -1,0 +1,46 @@
+"""TouchDrop — RX-only deep packet touch.
+
+"TouchDrop is a variation of TouchFwd that does not implement the
+transmission phase.  TouchDrop can be used to evaluate the performance of
+end-host packet reception." (paper §V)
+
+Note the paper excludes TouchDrop from MSB-based results "as the drop rate
+of TouchDrop is always 100%" — every packet is consumed, none returns to
+the load generator.  Its reception performance is read from the app's
+processed-packet counter instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import DpdkApp
+from repro.apps.touchfwd import (
+    TOUCH_CYCLES_PER_LINE,
+    TOUCH_INORDER_PENALTY,
+    TOUCH_MAX_MLP,
+)
+from repro.cpu.core import Work
+from repro.cpu.kernels import touch_lines
+from repro.dpdk.pmd import RxMbuf
+from repro.net.packet import Packet
+
+
+class TouchDrop(DpdkApp):
+    """Touch header + payload, then drop."""
+
+    def frame_work(self, frame: RxMbuf) -> Optional[Work]:
+        """Per-packet application work for one received frame."""
+        payload_lines = touch_lines(frame.mbuf.data_addr,
+                                    frame.packet.wire_len)
+        return Work(
+            compute_cycles=(self.costs.app_base_cycles
+                            + TOUCH_CYCLES_PER_LINE * len(payload_lines)),
+            reads=payload_lines,
+            max_mlp=TOUCH_MAX_MLP,
+            inorder_penalty=TOUCH_INORDER_PENALTY,
+        )
+
+    def transform(self, frame: RxMbuf) -> Optional[Packet]:
+        """Outgoing packet for this frame (None drops it)."""
+        return None   # no transmission phase

@@ -1,0 +1,52 @@
+"""TouchFwd — deep network function.
+
+"TouchFwd extends TestPMD with an extra loop that brings the payload to
+the core (subsequently to L2 and L1 caches).  TouchFwd can be used to
+model deep network functions such as Deep Packet Inspection." (paper §V)
+
+Every payload line is loaded; the per-line compute models the inspection
+work on each fetched line.  CPU load therefore grows with packet size —
+the reason TouchFwd stays core-bound and frequency/uarch-sensitive at all
+packet sizes (Figs 15-16).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import DpdkApp
+from repro.cpu.core import Work
+from repro.cpu.kernels import touch_lines
+from repro.dpdk.pmd import RxMbuf
+from repro.net.packet import Packet
+
+#: Cycles of inspection work per payload line brought to the core.  A deep
+#: network function does real per-byte work (DPI automaton steps); the
+#: per-line cost dominates the kernel, which is what makes TouchFwd
+#: core-bound at every packet size.
+TOUCH_CYCLES_PER_LINE = 170
+#: A byte-scan loop discovers little memory-level parallelism...
+TOUCH_MAX_MLP = 4
+#: ...and its dependence chains degrade hardest on an in-order pipeline
+#: (paper Fig 16: "up to an 8x increase in MSB" for TouchFwd on O3).
+TOUCH_INORDER_PENALTY = 6.0
+
+
+class TouchFwd(DpdkApp):
+    """L2 forwarder that touches the entire payload."""
+
+    def frame_work(self, frame: RxMbuf) -> Optional[Work]:
+        """Per-packet application work for one received frame."""
+        payload_lines = touch_lines(frame.mbuf.data_addr,
+                                    frame.packet.wire_len)
+        return Work(
+            compute_cycles=(self.costs.app_base_cycles
+                            + TOUCH_CYCLES_PER_LINE * len(payload_lines)),
+            reads=payload_lines,
+            max_mlp=TOUCH_MAX_MLP,
+            inorder_penalty=TOUCH_INORDER_PENALTY,
+        )
+
+    def transform(self, frame: RxMbuf) -> Optional[Packet]:
+        """Outgoing packet for this frame (None drops it)."""
+        return frame.packet.response_to()

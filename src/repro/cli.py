@@ -1,0 +1,199 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the harness from the shell:
+
+- ``run``       — one fixed-load run of a benchmark application
+- ``msb``       — maximum-sustainable-bandwidth search
+- ``sweep``     — a bandwidth-vs-drop curve
+- ``memcached`` — load a memcached server at a fixed request rate
+- ``table1``    — print the platform configurations
+- ``apps``      — list the registered applications
+
+Examples::
+
+    python -m repro run testpmd --size 256 --gbps 20
+    python -m repro msb touchfwd --size 1518 --max-gbps 20 --platform altra
+    python -m repro sweep testpmd --size 64 --rates 5,10,15,20
+    python -m repro memcached --kernel --rps 200000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.experiments import table1_configs
+from repro.harness.msb import bandwidth_sweep, find_msb
+from repro.harness.report import format_table
+from repro.harness.runner import APP_REGISTRY, run_fixed_load, run_memcached
+from repro.system.config import SystemConfig
+from repro.system.presets import altra, gem5_baseline, gem5_default
+
+PLATFORMS = {
+    "gem5": gem5_default,
+    "altra": altra,
+    "gem5-baseline": gem5_baseline,
+}
+
+
+def _platform(name: str) -> SystemConfig:
+    if name not in PLATFORMS:
+        raise SystemExit(
+            f"unknown platform {name!r}; choose from {sorted(PLATFORMS)}")
+    return PLATFORMS[name]()
+
+
+def _app_options(args) -> Optional[dict]:
+    if getattr(args, "proc_time_ns", None) is not None:
+        return {"proc_time_ns": args.proc_time_ns}
+    return None
+
+
+def _cmd_run(args) -> int:
+    result = run_fixed_load(
+        _platform(args.platform), args.app, args.size, args.gbps,
+        n_packets=args.packets, app_options=_app_options(args),
+        seed=args.seed)
+    print(format_table(
+        f"{args.app} @ {result.offered_gbps:.2f} Gbps, "
+        f"{args.size}B frames ({result.label})",
+        ["metric", "value"],
+        [["offered Gbps", f"{result.offered_gbps:.3f}"],
+         ["service Gbps", f"{result.service_gbps:.3f}"],
+         ["drop rate", f"{result.drop_rate * 100:.2f}%"],
+         ["CoreDrop", f"{result.drop_breakdown.get('CoreDrop', 0) * 100:.1f}%"],
+         ["DmaDrop", f"{result.drop_breakdown.get('DmaDrop', 0) * 100:.1f}%"],
+         ["TxDrop", f"{result.drop_breakdown.get('TxDrop', 0) * 100:.1f}%"],
+         ["mean RTT us", f"{result.latency_us.get('mean', 0):.1f}"],
+         ["p99 RTT us", f"{result.latency_us.get('p99', 0):.1f}"],
+         ["LLC miss rate", f"{result.llc_miss_rate:.3f}"]]))
+    return 0
+
+
+def _cmd_msb(args) -> int:
+    result = find_msb(
+        _platform(args.platform), args.app, args.size,
+        max_gbps=args.max_gbps, app_options=_app_options(args),
+        seed=args.seed)
+    print(f"{args.app} {args.size}B on {result.label}: "
+          f"MSB = {result.msb_gbps:.2f} Gbps")
+    for offered, drop in result.curve:
+        print(f"    probe {offered:7.2f} Gbps -> {drop * 100:5.1f}% drop")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    rates = [float(r) for r in args.rates.split(",")]
+    points = bandwidth_sweep(
+        _platform(args.platform), args.app, args.size, rates_gbps=rates,
+        n_packets=args.packets, app_options=_app_options(args),
+        seed=args.seed)
+    print(format_table(
+        f"{args.app} {args.size}B bandwidth vs drop ({args.platform})",
+        ["offered Gbps", "drop rate"],
+        [[f"{x:.2f}", f"{d * 100:.2f}%"] for x, d in points]))
+    return 0
+
+
+def _cmd_memcached(args) -> int:
+    result = run_memcached(
+        _platform(args.platform), kernel=args.kernel, rate_rps=args.rps,
+        n_requests=args.requests, seed=args.seed)
+    flavour = "MemcachedKernel" if args.kernel else "MemcachedDPDK"
+    print(format_table(
+        f"{flavour} @ {args.rps / 1000:.0f} kRPS ({result.label})",
+        ["metric", "value"],
+        [["achieved RPS", f"{result.achieved_rps:,.0f}"],
+         ["drop rate", f"{result.drop_rate * 100:.2f}%"],
+         ["mean RTT us", f"{result.latency_us.get('mean', 0):.1f}"],
+         ["median RTT us", f"{result.latency_us.get('median', 0):.1f}"],
+         ["p99 RTT us", f"{result.latency_us.get('p99', 0):.1f}"],
+         ["GET hits/misses", f"{result.get_hits}/{result.get_misses}"]]))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    rows = table1_configs()
+    params = list(next(iter(rows.values())).keys())
+    print(format_table(
+        "Table I: system configurations",
+        ["Parameter"] + list(rows.keys()),
+        [[p] + [rows[label][p] for label in rows] for p in params]))
+    return 0
+
+
+def _cmd_apps(args) -> int:
+    for name, (node_class, app_class, echoes) in sorted(
+            APP_REGISTRY.items()):
+        stack = "DPDK" if node_class.__name__ == "DpdkNode" else "kernel"
+        echo = "echoes responses" if echoes else "receive-only"
+        print(f"  {name:18s} {stack:6s} {app_class.__name__:16s} ({echo})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Userspace networking in a simulated host "
+                    "(ISPASS 2024 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, with_app=True):
+        """Attach the options shared by most subcommands."""
+        if with_app:
+            p.add_argument("app", choices=sorted(APP_REGISTRY))
+            p.add_argument("--size", type=int, default=256,
+                           help="frame size in bytes incl. CRC")
+            p.add_argument("--proc-time-ns", type=float, default=None,
+                           dest="proc_time_ns",
+                           help="RXpTX processing interval")
+        p.add_argument("--platform", default="gem5",
+                       choices=sorted(PLATFORMS))
+        p.add_argument("--seed", type=int, default=0)
+
+    p_run = sub.add_parser("run", help="one fixed-load run")
+    common(p_run)
+    p_run.add_argument("--gbps", type=float, default=10.0)
+    p_run.add_argument("--packets", type=int, default=2000)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_msb = sub.add_parser("msb", help="maximum sustainable bandwidth")
+    common(p_msb)
+    p_msb.add_argument("--max-gbps", type=float, default=70.0)
+    p_msb.set_defaults(func=_cmd_msb)
+
+    p_sweep = sub.add_parser("sweep", help="bandwidth vs drop curve")
+    common(p_sweep)
+    p_sweep.add_argument("--rates", default="5,15,25,35,45,55,65",
+                         help="comma-separated offered rates in Gbps")
+    p_sweep.add_argument("--packets", type=int, default=1500)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_mc = sub.add_parser("memcached", help="load a memcached server")
+    common(p_mc, with_app=False)
+    p_mc.add_argument("--kernel", action="store_true",
+                      help="kernel-stack server (default: DPDK)")
+    p_mc.add_argument("--rps", type=float, default=200_000.0)
+    p_mc.add_argument("--requests", type=int, default=2000)
+    p_mc.set_defaults(func=_cmd_memcached)
+
+    p_t1 = sub.add_parser("table1", help="print platform configurations")
+    p_t1.set_defaults(func=_cmd_table1)
+
+    p_apps = sub.add_parser("apps", help="list registered applications")
+    p_apps.set_defaults(func=_cmd_apps)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

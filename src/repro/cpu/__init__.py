@@ -1,0 +1,42 @@
+"""CPU timing models.
+
+Abstract core models that execute per-packet *work kernels* (instruction
+fetch, loads, stores, compute cycles) against a :class:`MemoryHierarchy`.
+Two microarchitectures are provided, matching the paper's Fig 16 sweep:
+
+- :class:`OutOfOrderCore` — overlaps independent misses up to an
+  MLP limit derived from ROB size, load-queue size and MSHRs;
+- :class:`InOrderCore` — serializes every memory access.
+
+Cache hit latencies are cycle counts in the core clock domain, so the
+frequency sweeps (Fig 15, Fig 19) change both compute and cache-hit time
+while DRAM time stays constant — exactly the core-bound vs IO-bound
+transition the paper characterizes.
+"""
+
+from repro.cpu.core import CoreConfig, CoreModel, Work
+from repro.cpu.ooo import OutOfOrderCore
+from repro.cpu.inorder import InOrderCore
+from repro.cpu.kernels import (
+    KernelCosts,
+    lines_covering,
+    touch_lines,
+)
+
+__all__ = [
+    "CoreConfig",
+    "CoreModel",
+    "Work",
+    "OutOfOrderCore",
+    "InOrderCore",
+    "KernelCosts",
+    "lines_covering",
+    "touch_lines",
+]
+
+
+def make_core(config, hierarchy):
+    """Build the right core model for ``config.ooo``."""
+    if config.ooo:
+        return OutOfOrderCore(config, hierarchy)
+    return InOrderCore(config, hierarchy)

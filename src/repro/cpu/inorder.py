@@ -1,0 +1,59 @@
+"""In-order core timing model.
+
+Every memory access serializes behind the previous one — the pipeline
+blocks on the first use of a missing load, and a scalar in-order front end
+cannot run ahead to find independent misses.  Compute cycles are likewise
+serial with the accesses.  This is the pessimistic end of the Fig 16
+comparison, where the paper sees up to 8x lower MSB than the O3 core for
+deep network functions.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.core import CoreConfig, CoreModel, Work
+from repro.mem.hierarchy import LEVEL_L1
+
+
+class InOrderCore(CoreModel):
+    """Fully serialized access timing."""
+
+    def __init__(self, config: CoreConfig, hierarchy) -> None:
+        super().__init__(config, hierarchy)
+
+    def _time_work(self, work: Work, now_ns: float) -> float:
+        period = self.config.period_ns
+        hierarchy = self.hierarchy
+        # The kernel's in-order CPI penalty: an in-order pipeline cannot
+        # reorder around dependences, so the same retired instruction
+        # stream takes a kernel-dependent factor more cycles.
+        total_ns = (work.compute_cycles * work.inorder_penalty
+                    * period / self.config.efficiency)
+        for addr in work.ifetch:
+            result = hierarchy.core_access(addr, now_ns, is_instr=True)
+            if result.level == LEVEL_L1:
+                self.l1_hits += 1
+            total_ns += result.cycles * period + result.dram_ns
+        covered = self._covered_by_prefetch(work.reads)
+        prefetched_ns = self._prefetched_cost_ns()
+        for addr in work.reads:
+            result = hierarchy.core_access(addr, now_ns)
+            if result.level == LEVEL_L1:
+                self.l1_hits += 1
+                total_ns += result.cycles * period
+            elif addr in covered:
+                self.prefetch_covered += 1
+                total_ns += min(prefetched_ns,
+                                result.cycles * period + result.dram_ns)
+            else:
+                total_ns += result.cycles * period + result.dram_ns
+        for addr in work.writes:
+            result = hierarchy.core_access(addr, now_ns, is_write=True)
+            if result.level == LEVEL_L1:
+                self.l1_hits += 1
+            total_ns += result.cycles * period + result.dram_ns
+        for addr in work.dependent_reads:
+            result = hierarchy.core_access(addr, now_ns)
+            if result.level == LEVEL_L1:
+                self.l1_hits += 1
+            total_ns += result.cycles * period + result.dram_ns
+        return total_ns

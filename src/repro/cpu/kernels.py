@@ -1,0 +1,82 @@
+"""Shared work-kernel helpers and software-stack cost constants.
+
+The applications (repro.apps) build :class:`~repro.cpu.core.Work` objects
+from these helpers.  :class:`KernelCosts` gathers the per-operation cycle
+costs of the two software stacks; the defaults are calibrated so the
+headline magnitudes land near the paper's (kernel stack ~10Gbps at 1518B,
+DPDK ~24Gbps at 128B on the Table I out-of-order core at 3GHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+LINE_SIZE = 64
+
+
+def lines_covering(base: int, nbytes: int, line_size: int = LINE_SIZE) -> List[int]:
+    """Line addresses covering [base, base+nbytes)."""
+    if nbytes <= 0:
+        return []
+    first = base // line_size
+    last = (base + nbytes - 1) // line_size
+    return [line * line_size for line in range(first, last + 1)]
+
+
+def touch_lines(base: int, nbytes: int, stride: int = LINE_SIZE) -> List[int]:
+    """Addresses touching every ``stride`` bytes of a buffer (a payload
+    touch loop as in TouchFwd/TouchDrop)."""
+    if nbytes <= 0:
+        return []
+    return [base + off for off in range(0, nbytes, stride)]
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Cycle costs of software-stack operations.
+
+    DPDK side: the poll-mode driver costs reflect "run-to-completion"
+    processing — no syscalls, no interrupts, no copies (paper §II.A).
+
+    Kernel side: the costs the paper names as the kernel stack's overheads —
+    "frequent system calls and context switches ... frequent buffer copies
+    within the kernel software stack and between kernel and userspace
+    buffers ... extended latency associated with interrupt processing".
+    """
+
+    # ---- DPDK poll-mode driver ------------------------------------------
+    pmd_rx_burst_cycles: int = 60        # fixed cost per rte_eth_rx_burst
+    pmd_tx_burst_cycles: int = 60        # fixed cost per rte_eth_tx_burst
+    pmd_per_packet_cycles: int = 60      # mbuf + descriptor bookkeeping
+    pmd_empty_poll_cycles: int = 40      # a poll that returns zero packets
+    mempool_get_put_cycles: int = 20     # per mbuf alloc/free pair
+
+    # ---- Linux kernel stack ---------------------------------------------
+    syscall_cycles: int = 1400           # one user<->kernel crossing pair
+    context_switch_cycles: int = 2600    # scheduler switch on wakeup
+    interrupt_cycles: int = 3200         # hard IRQ entry/exit + handler
+    softirq_per_packet_cycles: int = 1500  # NET_RX protocol processing
+    skb_alloc_cycles: int = 350          # sk_buff allocate + init
+    copy_cycles_per_line: int = 6        # copy bandwidth: cycles per 64B line
+    socket_dequeue_cycles: int = 500     # socket buffer handoff
+
+    # ---- Batching --------------------------------------------------------
+    # NAPI and interrupt coalescing amortize interrupt + syscall costs over
+    # a batch of packets at high rates.
+    kernel_batch_size: int = 16
+
+    # ---- Application-side constants --------------------------------------
+    app_base_cycles: int = 30            # minimal per-packet app logic
+    memcached_request_cycles: int = 4600  # parse + hash + respond logic
+    # The kernel-stack memcached additionally runs libevent dispatch and
+    # its connection state machine per request; the DPDK KVS has none of
+    # that (run-to-completion, no event loop).
+    memcached_event_loop_cycles: int = 7400
+    iperf_per_segment_cycles: int = 260  # TCP segment bookkeeping
+    tcp_ack_cycles: int = 1100           # in-kernel ACK generation (no
+                                         # syscall, no user copy)
+
+    def __post_init__(self) -> None:
+        if self.kernel_batch_size < 1:
+            raise ValueError("kernel batch size must be >= 1")

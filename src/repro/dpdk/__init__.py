@@ -1,0 +1,29 @@
+"""A DPDK-like userspace data-plane framework.
+
+The pieces of DPDK the paper's applications use, with the same moving
+parts: an Environment Abstraction Layer that scans the PCI bus and matches
+poll-mode drivers by vendor/device ID (with the paper's skip-vendor-check
+patch, §III.B), hugepage-backed mempools of mbufs, single-producer/
+single-consumer rings for pipeline mode, and a burst-oriented PMD over the
+i8254x NIC model.
+"""
+
+from repro.dpdk.hugepages import HugepageAllocator
+from repro.dpdk.mempool import Mbuf, Mempool, MempoolEmptyError
+from repro.dpdk.ring import RteRing
+from repro.dpdk.eal import Eal, EalConfig, EalProbeError
+from repro.dpdk.pmd import E1000Pmd, PmdLaunchError, RxMbuf
+
+__all__ = [
+    "HugepageAllocator",
+    "Mbuf",
+    "Mempool",
+    "MempoolEmptyError",
+    "RteRing",
+    "Eal",
+    "EalConfig",
+    "EalProbeError",
+    "E1000Pmd",
+    "PmdLaunchError",
+    "RxMbuf",
+]

@@ -1,0 +1,96 @@
+"""The Environment Abstraction Layer.
+
+"The DPDK Environment Abstraction Layer (EAL) relies on vendor ID checks to
+match a device and a PMD.  We modify the DPDK source to skip these checks
+and force the matching of the gem5 device to NIC model PMD.  Unmodified
+DPDK cannot fetch the correct vendor ID when running on gem5 and therefore
+fails to call the proper PMD." (paper §III.B)
+
+This module models both sides of that story: the platform may corrupt the
+vendor information the EAL fetches (``vendor_info_missing``, the gem5
+symptom), and the EAL may be patched to skip the check
+(``skip_vendor_check``, the paper's DPDK patch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.pci.bus import PciBus
+from repro.pci.device import PciDevice
+from repro.pci.uio import DRIVER_NAME as UIO_DRIVER, UioPciGeneric
+
+
+class EalProbeError(RuntimeError):
+    """EAL initialization failed (no usable port)."""
+
+
+@dataclass(frozen=True)
+class EalConfig:
+    """EAL behaviour switches."""
+
+    # The paper's DPDK patch: force-match the first UIO-bound device to the
+    # registered PMD even if the fetched vendor ID does not match.
+    skip_vendor_check: bool = False
+    # The gem5 symptom: the platform cannot supply correct vendor info to
+    # the EAL's scan (manufacturer-specific data missing from the model).
+    vendor_info_missing: bool = False
+
+
+class Eal:
+    """Scans the PCI bus and matches poll-mode drivers to devices."""
+
+    def __init__(self, bus: PciBus, config: EalConfig = EalConfig()) -> None:
+        self.bus = bus
+        self.config = config
+        # (vendor, device) -> pmd class registrations
+        self._pmd_registry: Dict[Tuple[int, int], type] = {}
+        self.uio = UioPciGeneric()
+        self.probed: List[object] = []
+
+    def register_pmd(self, vendor_id: int, device_id: int,
+                     pmd_class: type) -> None:
+        """Register a PMD class for a (vendor, device) ID pair."""
+        self._pmd_registry[(vendor_id, device_id)] = pmd_class
+
+    def _fetch_ids(self, device: PciDevice) -> Tuple[int, int]:
+        """What the EAL sees when reading the device IDs via sysfs/UIO."""
+        if self.config.vendor_info_missing:
+            # gem5's NIC model lacks manufacturer-specific info; the EAL
+            # reads garbage instead of 8086:100e.
+            return 0xFFFF, 0xFFFF
+        return (device.config_space.vendor_id,
+                device.config_space.device_id)
+
+    def probe(self, *pmd_args, **pmd_kwargs) -> List[object]:
+        """Scan UIO-bound devices and instantiate matching PMDs.
+
+        Returns the PMD instances (ports).  Raises :class:`EalProbeError`
+        when no device can be matched — the failure unmodified DPDK hits on
+        gem5.
+        """
+        ports: List[object] = []
+        for device in self.bus.enumerate():
+            if device.driver_name != UIO_DRIVER:
+                continue
+            vendor, devid = self._fetch_ids(device)
+            pmd_class = self._pmd_registry.get((vendor, devid))
+            if pmd_class is None and self.config.skip_vendor_check:
+                if len(self._pmd_registry) != 1:
+                    raise EalProbeError(
+                        "skip_vendor_check requires exactly one registered "
+                        "PMD to force-match (found "
+                        f"{len(self._pmd_registry)}); hard-code the PMD for "
+                        "the NIC model in use (paper §III.B)")
+                pmd_class = next(iter(self._pmd_registry.values()))
+            if pmd_class is None:
+                continue
+            ports.append(pmd_class(device, *pmd_args, **pmd_kwargs))
+        if not ports:
+            raise EalProbeError(
+                "EAL: no probed ports — vendor ID check failed to match a "
+                "PMD (run with skip_vendor_check=True, the paper's DPDK "
+                "patch, or fix the platform's vendor info)")
+        self.probed = ports
+        return ports

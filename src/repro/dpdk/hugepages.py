@@ -1,0 +1,48 @@
+"""Hugepage reservation.
+
+DPDK "reserves pinned huge pages and allows the NIC to DMA packet data
+directly into the application's buffers" (§II.A); the gem5 guest kernel
+must be built with CONFIG_HUGETLBFS and pages reserved via
+``/sys/kernel/mm/hugepages`` (paper Listings 1-2).  Here hugepages are
+2MiB-aligned regions carved from the simulated physical address space;
+mempools allocate from them, which keeps packet buffers physically
+contiguous — the property that makes single-descriptor DMA possible.
+"""
+
+from __future__ import annotations
+
+from repro.mem.address import AddressSpace, Region
+
+HUGEPAGE_SIZE = 2 * 1024 * 1024
+
+
+class HugepageAllocator:
+    """Reserves and hands out 2MiB hugepages."""
+
+    def __init__(self, address_space: AddressSpace, nr_hugepages: int) -> None:
+        if nr_hugepages < 1:
+            raise ValueError("need at least one hugepage")
+        self.nr_hugepages = nr_hugepages
+        self._pool: Region = address_space.allocate(
+            "hugepages", nr_hugepages * HUGEPAGE_SIZE,
+            alignment=HUGEPAGE_SIZE)
+        self._next_page = 0
+
+    @property
+    def free_pages(self) -> int:
+        """Hugepages still unallocated."""
+        return self.nr_hugepages - self._next_page
+
+    def allocate(self, nbytes: int) -> Region:
+        """Allocate ``nbytes`` rounded up to whole hugepages."""
+        pages = (nbytes + HUGEPAGE_SIZE - 1) // HUGEPAGE_SIZE
+        if pages > self.free_pages:
+            raise MemoryError(
+                f"hugepage pool exhausted: need {pages}, "
+                f"have {self.free_pages} "
+                f"(echo a larger value into nr_hugepages)")
+        base = self._pool.base + self._next_page * HUGEPAGE_SIZE
+        self._next_page += pages
+        return Region(name=f"hugepage[{self._next_page - pages}"
+                           f":{self._next_page}]",
+                      base=base, size=pages * HUGEPAGE_SIZE)

@@ -1,0 +1,114 @@
+"""Mempools and mbufs.
+
+An :class:`Mbuf` is a fixed-size packet buffer in hugepage memory; a
+:class:`Mempool` recycles them through a LIFO free list, which — exactly as
+in DPDK's per-lcore mempool cache — keeps the hot subset of buffers small
+and cache-resident.  The mempool's *cycling footprint* (how many distinct
+buffers are in flight) is what determines the DPDK working-set size the
+paper measures to be "larger than 256KiB and smaller than 1MiB" (§VII.C).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dpdk.hugepages import HugepageAllocator
+from repro.mem.address import Region
+from repro.net.packet import Packet
+
+MBUF_HEADROOM = 128
+DEFAULT_MBUF_SIZE = 2048
+
+
+class MempoolEmptyError(RuntimeError):
+    """Raised when a get() finds no free mbuf (a buffer leak upstream)."""
+
+
+class Mbuf:
+    """One packet buffer: metadata header + data room."""
+
+    __slots__ = ("index", "buffer_addr", "data_addr", "size", "packet", "pool")
+
+    def __init__(self, index: int, buffer_addr: int, size: int,
+                 pool: "Mempool") -> None:
+        self.index = index
+        self.buffer_addr = buffer_addr
+        self.data_addr = buffer_addr + MBUF_HEADROOM
+        self.size = size
+        self.packet: Optional[Packet] = None
+        self.pool = pool
+
+    def free(self) -> None:
+        """Return this mbuf to its pool."""
+        self.pool.put(self)
+
+    def __repr__(self) -> str:
+        return f"<Mbuf #{self.index} @{self.buffer_addr:#x}>"
+
+
+class Mempool:
+    """A fixed population of mbufs with a LIFO free list."""
+
+    def __init__(self, name: str, hugepages: HugepageAllocator,
+                 n_mbufs: int, mbuf_size: int = DEFAULT_MBUF_SIZE) -> None:
+        if n_mbufs < 1:
+            raise ValueError("mempool needs at least one mbuf")
+        if mbuf_size < MBUF_HEADROOM + 64:
+            raise ValueError(f"mbuf size {mbuf_size} too small")
+        self.name = name
+        self.n_mbufs = n_mbufs
+        self.mbuf_size = mbuf_size
+        self.region: Region = hugepages.allocate(n_mbufs * mbuf_size)
+        self._free: List[Mbuf] = [
+            Mbuf(i, self.region.base + i * mbuf_size, mbuf_size, self)
+            for i in reversed(range(n_mbufs))
+        ]
+        self.gets = 0
+        self.puts = 0
+        self.high_watermark = 0
+
+    @property
+    def available(self) -> int:
+        """Free mbufs remaining in the pool."""
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        """Mbufs currently allocated to users."""
+        return self.n_mbufs - len(self._free)
+
+    def get(self) -> Mbuf:
+        """Allocate an mbuf (LIFO: most-recently-freed first)."""
+        if not self._free:
+            raise MempoolEmptyError(
+                f"mempool {self.name} exhausted "
+                f"({self.n_mbufs} mbufs all in use)")
+        mbuf = self._free.pop()
+        self.gets += 1
+        self.high_watermark = max(self.high_watermark, self.in_use)
+        return mbuf
+
+    def try_get(self) -> Optional[Mbuf]:
+        """Allocate, or None when empty (the PMD replenish path)."""
+        if not self._free:
+            return None
+        return self.get()
+
+    def put(self, mbuf: Mbuf) -> None:
+        """Return an mbuf to the pool."""
+        if mbuf.pool is not self:
+            raise ValueError(
+                f"mbuf from pool {mbuf.pool.name} returned to {self.name}")
+        if len(self._free) >= self.n_mbufs:
+            raise RuntimeError(f"double free into mempool {self.name}")
+        mbuf.packet = None
+        self._free.append(mbuf)
+        self.puts += 1
+
+    def footprint_bytes(self) -> int:
+        """Total buffer memory (the upper bound of the working set)."""
+        return self.n_mbufs * self.mbuf_size
+
+    def __repr__(self) -> str:
+        return (f"<Mempool {self.name} {self.available}/{self.n_mbufs} "
+                f"free, {self.mbuf_size}B mbufs>")

@@ -1,0 +1,130 @@
+"""The e1000 poll-mode driver.
+
+Burst receive/transmit over the :class:`~repro.nic.i8254x.I8254xNic` model.
+Launching the PMD requires a working Interrupt Mask Register — the PMD
+masks all device interrupts at start-up, and the paper's fifth gem5 change
+(§III.A.5) implements exactly the IMS/IMC read/write methods this needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.dpdk.mempool import Mbuf, Mempool
+from repro.net.packet import Packet
+from repro.nic.i8254x import I8254xNic, REG_IMC
+
+
+class PmdLaunchError(RuntimeError):
+    """The PMD could not take control of the device."""
+
+
+@dataclass
+class RxMbuf:
+    """One received packet as the application sees it."""
+
+    mbuf: Mbuf
+    packet: Packet
+    desc_addr: int
+
+
+class E1000Pmd:
+    """Polling-mode driver bound to one NIC port."""
+
+    def __init__(self, nic: I8254xNic, mempool: Mempool) -> None:
+        if nic.driver_name != "uio_pci_generic":
+            raise PmdLaunchError(
+                f"{nic.name} is not bound to uio_pci_generic; bind it first "
+                "(dpdk-devbind.py -b uio_pci_generic <BDF>)")
+        self.nic = nic
+        self.mempool = mempool
+        self._launch()
+        self.rx_bursts = 0
+        self.empty_rx_bursts = 0
+        self.rx_packets = 0
+        self.tx_packets = 0
+        self.tx_ring_full_events = 0
+        self._harvest_cursor = 0
+
+    def _launch(self) -> None:
+        # A PMD's first act is masking all interrupts; if the device's mask
+        # register is not implemented this fails (baseline gem5, §III.A.5).
+        self.nic.write_reg(REG_IMC, 0xFFFFFFFF)
+        if not self.nic.interrupt_mask_operational():
+            raise PmdLaunchError(
+                f"{self.nic.name}: Interrupt Mask Register reads/writes are "
+                "not implemented; the PMD cannot launch (the baseline gem5 "
+                "limitation fixed in paper §III.A.5)")
+        self.nic.write_reg(REG_IMC, 0xFFFFFFFF)   # leave interrupts masked
+        self.nic.rx_buffer_source = self._rx_buffer_for
+        self.nic.rx_notify = None                 # polling, not interrupts
+        if not self.nic.nic_config.quirks.pmd_writeback_threshold_works:
+            # Baseline gem5 + PMD: threshold registers are never programmed,
+            # so the NIC only writes back when the whole descriptor cache is
+            # used — packets DMA in 32-64 packet batches (§III.A.3).
+            self.nic.rx_ring.writeback_threshold = \
+                self.nic.rx_ring.desc_cache_size
+            self.nic._wb_timer_disabled = True
+        self.nic.tx_complete_notify = self._on_tx_complete
+
+    # -- NIC-facing hooks -------------------------------------------------
+
+    def _rx_buffer_for(self, packet: Packet):
+        """Supply the next posted buffer's address for an incoming DMA.
+
+        Returns None under mempool exhaustion (an application-side buffer
+        leak or severe backlog): the NIC stalls its RX DMA rather than the
+        simulation crashing — as hardware would."""
+        mbuf = self.mempool.try_get()
+        if mbuf is None:
+            return None
+        mbuf.packet = packet
+        packet.meta["mbuf"] = mbuf
+        return mbuf.data_addr
+
+    def _on_tx_complete(self, packet: Packet) -> None:
+        mbuf = packet.meta.pop("mbuf", None)
+        if mbuf is not None:
+            mbuf.free()
+
+    # -- application API ---------------------------------------------------
+
+    def rx_burst(self, max_count: int = 32) -> List[RxMbuf]:
+        """rte_eth_rx_burst: harvest completed RX descriptors and
+        replenish the ring."""
+        self.rx_bursts += 1
+        descs = self.nic.rx_ring.harvest(max_count)
+        if not descs:
+            self.empty_rx_bursts += 1
+            return []
+        self.nic.rx_replenish(len(descs))
+        self.rx_packets += len(descs)
+        out: List[RxMbuf] = []
+        for desc in descs:
+            mbuf = desc.packet.meta.get("mbuf")
+            out.append(RxMbuf(mbuf=mbuf, packet=desc.packet,
+                              desc_addr=self.nic.rx_ring.desc_addr(desc.index)))
+        return out
+
+    def tx_burst(self, frames: Sequence[RxMbuf]) -> int:
+        """rte_eth_tx_burst: enqueue frames for transmission; returns how
+        many the TX ring accepted.  Rejected frames stay owned by the
+        caller (to retry or drop)."""
+        sent = 0
+        for frame in frames:
+            if not self.nic.tx_enqueue(frame.mbuf.data_addr, frame.packet):
+                self.tx_ring_full_events += 1
+                break
+            sent += 1
+        self.tx_packets += sent
+        return sent
+
+    def tx_desc_addr(self, index: int) -> int:
+        """Memory address of TX descriptor ``index``."""
+        return self.nic.tx_ring.desc_addr(index)
+
+    def free(self, frame: RxMbuf) -> None:
+        """Drop a packet without transmitting (rte_pktmbuf_free)."""
+        frame.packet.meta.pop("mbuf", None)
+        frame.mbuf.free()

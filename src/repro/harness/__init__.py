@@ -1,0 +1,32 @@
+"""Experiment harness.
+
+Run primitives (fixed-load runs, bandwidth ramps, memcached request
+sweeps), the maximum-sustainable-bandwidth search, per-figure experiment
+functions covering every table and figure in the paper's evaluation, and
+plain-text report rendering.
+"""
+
+from repro.harness.runner import (
+    APP_REGISTRY,
+    FixedLoadResult,
+    MemcachedRunResult,
+    build_node,
+    run_fixed_load,
+    run_memcached,
+)
+from repro.harness.msb import MsbResult, bandwidth_sweep, find_msb
+from repro.harness.report import format_series, format_table
+
+__all__ = [
+    "APP_REGISTRY",
+    "FixedLoadResult",
+    "MemcachedRunResult",
+    "build_node",
+    "run_fixed_load",
+    "run_memcached",
+    "MsbResult",
+    "bandwidth_sweep",
+    "find_msb",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,505 @@
+"""Per-figure experiment definitions.
+
+One function per table/figure of the paper's evaluation.  Each returns
+plain data structures (dicts/lists) that the corresponding benchmark
+prints; EXPERIMENTS.md records the paper-vs-measured comparison.
+
+Experiment scope knobs: most functions accept ``packet_sizes`` /
+``n_packets`` style arguments so the benchmark suite can trade runtime
+for resolution; defaults are sized to finish the whole suite in minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.msb import bandwidth_sweep, find_msb
+from repro.harness.runner import run_fixed_load, run_memcached
+from repro.system.config import SystemConfig
+from repro.system.presets import (
+    altra,
+    gem5_default,
+    with_core,
+    with_dca,
+    with_dram_channels,
+    with_frequency,
+    with_l1_size,
+    with_l2_size,
+    with_llc_size,
+    with_rob,
+)
+
+KIB = 1024
+MIB = 1024 * 1024
+
+# The six applications of the sensitivity figures (Figs 10-15) and their
+# per-app saturation ceilings / options.
+SENSITIVITY_APPS: List[Tuple[str, str, float, Optional[dict]]] = [
+    ("testpmd", "TestPMD", 70.0, None),
+    ("touchfwd", "TouchFwd", 20.0, None),
+    ("iperf", "iperf", 16.0, None),
+    ("rxptx-10ns", "RXpTX-10ns", 70.0, {"proc_time_ns": 10.0}),
+    ("rxptx-1us", "RXpTX-1us", 70.0, {"proc_time_ns": 1000.0}),
+]
+
+SENSITIVITY_SIZES = [128, 256, 512, 1024, 1518]
+
+
+def _app_name(key: str) -> str:
+    return "rxptx" if key.startswith("rxptx") else key
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+
+def table1_configs() -> Dict[str, Dict[str, object]]:
+    """The simulated and real system configurations side by side."""
+    rows = {}
+    for config in (gem5_default(), altra()):
+        hier = config.hierarchy
+        rows[config.label] = {
+            "Core freq": f"{config.core.freq_hz / 1e9:.0f}GHz",
+            "Superscalar": f"{config.core.width} ways",
+            "ROB/IQ entries": f"{config.core.rob_entries}/"
+                              f"{config.core.iq_entries}",
+            "LQ/SQ entries": f"{config.core.lq_entries}/"
+                             f"{config.core.sq_entries}",
+            "Branch predictor": config.core.branch_predictor,
+            "BTB entries": config.core.btb_entries,
+            "L1I/L1D": f"{hier.l1i.size // KIB}KB,{hier.l1i.assoc}/"
+                       f"{hier.l1d.size // KIB}KB,{hier.l1d.assoc}",
+            "L2": f"{hier.l2.size // MIB}MB,{hier.l2.assoc} ways",
+            "L1I/L1D/L2 latency": f"{hier.l1i.latency_cycles}/"
+                                  f"{hier.l1d.latency_cycles}/"
+                                  f"{hier.l2.latency_cycles}",
+            "L1I/L1D/L2 MSHRs": f"{hier.l1i.mshrs}/{hier.l1d.mshrs}/"
+                                f"{hier.l2.mshrs}",
+            "DRAM channels": hier.dram.channels,
+            "DCA/DDIO": "enabled" if hier.dca_enabled else "disabled",
+            "Network bandwidth": f"{config.link_bandwidth_bps / 1e9:.0f}Gbps",
+            "Network latency": f"{config.link_delay_us:.0f}us",
+            "Core type": "O3" if config.core.ooo else "in-order",
+        }
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig 5 — drop-cause breakdown
+# ----------------------------------------------------------------------
+
+FIG5_WORKLOADS: List[Tuple[str, str, int, Optional[dict]]] = [
+    ("TestPMD-64B", "testpmd", 64, None),
+    ("TestPMD-256B", "testpmd", 256, None),
+    ("TestPMD-1518B", "testpmd", 1518, None),
+    ("TouchFwd-64B", "touchfwd", 64, None),
+    ("TouchFwd-256B", "touchfwd", 256, None),
+    ("TouchFwd-1518B", "touchfwd", 1518, None),
+    ("TouchDrop-64B", "touchdrop", 64, None),
+    ("TouchDrop-256B", "touchdrop", 256, None),
+    ("TouchDrop-1518B", "touchdrop", 1518, None),
+    ("RXpTX-10us", "rxptx", 256, {"proc_time_ns": 10000.0}),
+    ("RXpTX-100ns", "rxptx", 256, {"proc_time_ns": 100.0}),
+    ("RXpTX-10ns", "rxptx", 256, {"proc_time_ns": 10.0}),
+]
+
+
+def fig5_drop_breakdown(n_packets: int = 2000,
+                        config: Optional[SystemConfig] = None
+                        ) -> Dict[str, Dict[str, float]]:
+    """Drop-cause fractions at the knee rate for each workload.
+
+    "We set the network bandwidth to the knee of the bandwidth vs. packet
+    drop rate curve, where we start seeing packet drops."
+    """
+    config = config or gem5_default()
+    out: Dict[str, Dict[str, float]] = {}
+    for label, app, size, options in FIG5_WORKLOADS:
+        ceiling = 20.0 if app in ("touchfwd", "touchdrop") else 70.0
+        if app == "touchdrop":
+            # The knee is taken from the forwarding twin; TouchDrop itself
+            # has no response stream to measure drops against.
+            knee = find_msb(config, "touchfwd", size,
+                            max_gbps=ceiling).msb_gbps
+        else:
+            knee = find_msb(config, app, size, max_gbps=ceiling,
+                            app_options=options).msb_gbps
+        # Push far enough past the knee that sustained overload defeats
+        # the FIFO+ring buffering within the measured window.
+        rate = max(knee * 1.3, 0.5)
+        result = run_fixed_load(config, app, size, rate,
+                                n_packets=max(n_packets, 5000),
+                                app_options=options)
+        out[label] = dict(result.drop_breakdown)
+        out[label]["drop_rate"] = result.drop_rate
+        out[label]["knee_gbps"] = knee
+    # The two memcached workloads drive with the client personality.
+    for label, kernel, probe_rps in (
+            ("MemcachedDPDK", False, 900_000.0),
+            ("MemcachedKernel", True, 320_000.0)):
+        result = run_memcached(config, kernel, probe_rps,
+                               n_requests=max(n_packets, 4000))
+        out[label] = dict(result.drop_breakdown)
+        out[label]["drop_rate"] = result.drop_rate
+        out[label]["knee_gbps"] = 0.0
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figs 6-9 — bandwidth vs drop rate, gem5 vs altra
+# ----------------------------------------------------------------------
+
+def _bw_drop_figure(app: str, app_options: Optional[dict],
+                    packet_sizes: Sequence[int],
+                    rates: Sequence[float],
+                    n_packets: int) -> Dict[str, List[Tuple[float, float]]]:
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for config in (altra(), gem5_default()):
+        for size in packet_sizes:
+            key = f"{size}-{config.label}"
+            series[key] = bandwidth_sweep(
+                config, app, size, rates_gbps=list(rates),
+                n_packets=n_packets, app_options=app_options)
+    return series
+
+
+def fig6_testpmd_bw_drop(packet_sizes: Sequence[int] = (64, 256, 1518),
+                         rates: Sequence[float] = (5, 15, 25, 35, 45, 55, 65),
+                         n_packets: int = 1200):
+    """TestPMD bandwidth vs drop rate, gem5 vs altra."""
+    return _bw_drop_figure("testpmd", None, packet_sizes, rates, n_packets)
+
+
+def fig7_touchfwd_bw_drop(packet_sizes: Sequence[int] = (64, 256, 1518),
+                          rates: Sequence[float] = (2, 4, 6, 8, 10, 12, 14),
+                          n_packets: int = 1200):
+    """TouchFwd bandwidth vs drop rate, gem5 vs altra."""
+    return _bw_drop_figure("touchfwd", None, packet_sizes, rates, n_packets)
+
+
+def fig8_rxptx10ns_bw_drop(packet_sizes: Sequence[int] = (64, 256, 1518),
+                           rates: Sequence[float] = (5, 15, 25, 35, 45, 55, 65),
+                           n_packets: int = 1200):
+    """RXpTX (10ns processing) bandwidth vs drop rate."""
+    return _bw_drop_figure("rxptx", {"proc_time_ns": 10.0}, packet_sizes,
+                           rates, n_packets)
+
+
+def fig9_rxptx1us_bw_drop(packet_sizes: Sequence[int] = (64, 256, 1518),
+                          rates: Sequence[float] = (2, 6, 10, 15, 25, 40, 55),
+                          n_packets: int = 1200):
+    """RXpTX (1us processing) bandwidth vs drop rate."""
+    return _bw_drop_figure("rxptx", {"proc_time_ns": 1000.0}, packet_sizes,
+                           rates, n_packets)
+
+
+# ----------------------------------------------------------------------
+# Figs 10-12 — cache size sensitivity
+# ----------------------------------------------------------------------
+
+def _cache_sensitivity(variants: Dict[str, SystemConfig],
+                       packet_sizes: Sequence[int],
+                       memcached_probe: Dict[str, float]
+                       ) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """MSB per app per cache variant, plus memcached RPS."""
+    out: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    for app_key, app_label, ceiling, options in SENSITIVITY_APPS:
+        app = _app_name(app_key)
+        per_variant: Dict[str, List[Tuple[int, float]]] = {}
+        for variant_label, config in variants.items():
+            points = []
+            for size in packet_sizes:
+                msb = find_msb(config, app, size, max_gbps=ceiling,
+                               app_options=options).msb_gbps
+                points.append((size, msb))
+            per_variant[variant_label] = points
+        out[app_label] = per_variant
+    # Memcached: requests/second at a probing overload.
+    for label, kernel in (("MemcachedDPDK", False),
+                          ("MemcachedKernel", True)):
+        per_variant = {}
+        for variant_label, config in variants.items():
+            probe = memcached_probe["kernel" if kernel else "dpdk"]
+            result = run_memcached(config, kernel, probe, n_requests=2500)
+            krps = result.offered_rps * (1 - result.drop_rate) / 1e3
+            per_variant[variant_label] = [(0, krps)]
+        out[label] = per_variant
+    return out
+
+
+MEMCACHED_PROBE = {"dpdk": 900_000.0, "kernel": 330_000.0}
+
+
+def fig10_l1_sensitivity(packet_sizes: Sequence[int] = (128, 512, 1518)):
+    """MSB/RPS vs L1 cache size (16KiB - 1MiB)."""
+    base = gem5_default()
+    variants = {f"{s // KIB}KiB-L1": with_l1_size(base, s)
+                for s in (16 * KIB, 128 * KIB, 256 * KIB, 1 * MIB)}
+    return _cache_sensitivity(variants, packet_sizes, MEMCACHED_PROBE)
+
+
+def fig11_l2_sensitivity(packet_sizes: Sequence[int] = (128, 512, 1518)):
+    """MSB/RPS vs L2 cache size (256KiB - 8MiB)."""
+    base = gem5_default()
+    variants = {}
+    for size in (256 * KIB, 1 * MIB, 4 * MIB, 8 * MIB):
+        name = (f"{size // KIB}KiB-L2" if size < MIB
+                else f"{size // MIB}MiB-L2")
+        variants[name] = with_l2_size(base, size)
+    return _cache_sensitivity(variants, packet_sizes, MEMCACHED_PROBE)
+
+
+def fig12_llc_sensitivity(packet_sizes: Sequence[int] = (128, 512, 1518)):
+    """MSB/RPS vs LLC size (4MiB - 64MiB)."""
+    base = gem5_default()
+    variants = {f"{s // MIB}MiB-LLC": with_llc_size(base, s)
+                for s in (4 * MIB, 16 * MIB, 32 * MIB, 64 * MIB)}
+    return _cache_sensitivity(variants, packet_sizes, MEMCACHED_PROBE)
+
+
+# ----------------------------------------------------------------------
+# Fig 13 — DCA policy: processing-time sweep with ring 4096
+# ----------------------------------------------------------------------
+
+def fig13_dca_proctime(
+        packet_sizes: Sequence[int] = (64, 256, 1518),
+        proc_times_ns: Sequence[float] = (10, 100, 300, 500, 700,
+                                          1000, 3000, 5000, 10000),
+        n_packets: int = 2500) -> Dict[str, List[Tuple[float, float, float]]]:
+    """Drop rate and LLC miss rate vs per-burst processing time.
+
+    Ring 4096 entries, LLC fixed at 1MiB, DCA 4/16 ways (256KiB of LLC
+    for network data); rate fixed at each size's 10ns MSB.
+    """
+    base = with_llc_size(gem5_default(), 1 * MIB)
+    config = base.variant(
+        nic=replace(base.nic, rx_ring_size=4096, tx_ring_size=4096),
+        mempool_mbufs=9000)
+    # The measured window must overflow the 4096-entry ring for sustained
+    # overload to surface as drops rather than buffered backlog.
+    n_packets = max(n_packets, 3 * config.nic.rx_ring_size)
+    out: Dict[str, List[Tuple[float, float, float]]] = {}
+    for size in packet_sizes:
+        rate = find_msb(config, "rxptx", size,
+                        app_options={"proc_time_ns": 10.0}).msb_gbps
+        rows = []
+        for proc in proc_times_ns:
+            result = run_fixed_load(
+                config, "rxptx", size, rate, n_packets=n_packets,
+                app_options={"proc_time_ns": float(proc)})
+            rows.append((float(proc), result.drop_rate,
+                         result.llc_miss_rate))
+        out[f"{size}B"] = rows
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig 14 — DCA on/off
+# ----------------------------------------------------------------------
+
+def fig14_dca_sensitivity(packet_sizes: Sequence[int] = SENSITIVITY_SIZES):
+    """MSB/RPS with DCA enabled vs disabled."""
+    base = gem5_default()
+    variants = {"ddio-enabled": with_dca(base, True),
+                "ddio-disabled": with_dca(base, False)}
+    return _cache_sensitivity(variants, packet_sizes, MEMCACHED_PROBE)
+
+
+# ----------------------------------------------------------------------
+# Fig 15 — core frequency
+# ----------------------------------------------------------------------
+
+def fig15_frequency(packet_sizes: Sequence[int] = (128, 512, 1518),
+                    freqs_ghz: Sequence[float] = (1.0, 2.0, 4.0)):
+    """MSB/RPS vs core frequency."""
+    base = gem5_default()
+    variants = {f"{f:.0f}GHz": with_frequency(base, f * 1e9)
+                for f in freqs_ghz}
+    return _cache_sensitivity(variants, packet_sizes, MEMCACHED_PROBE)
+
+
+# ----------------------------------------------------------------------
+# Fig 16 — core microarchitecture
+# ----------------------------------------------------------------------
+
+def fig16_core_uarch(packet_sizes: Sequence[int] = (128, 1518)):
+    """MSB/RPS for out-of-order vs in-order cores."""
+    base = gem5_default()
+    variants = {"OoO Core": with_core(base, ooo=True),
+                "In-Order Core": with_core(base, ooo=False)}
+    return _cache_sensitivity(variants, packet_sizes, MEMCACHED_PROBE)
+
+
+# ----------------------------------------------------------------------
+# Fig 17 — memory channels and ROB size
+# ----------------------------------------------------------------------
+
+def fig17_channels(packet_sizes: Sequence[int] = (128, 1518),
+                   channels: Sequence[int] = (1, 4, 8, 16)
+                   ) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """MSB vs number of DRAM channels; DCA disabled so DRAM bandwidth
+    utilization is apparent (paper Fig 17a-c)."""
+    base = with_dca(gem5_default(), False)
+    out: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    for app_key, app_label, ceiling, options in [
+            ("testpmd", "TestPMD", 70.0, None),
+            ("touchfwd", "TouchFwd", 20.0, None),
+            ("iperf", "iperf", 16.0, None)]:
+        app = _app_name(app_key)
+        per_size: Dict[str, List[Tuple[int, float]]] = {}
+        for size in packet_sizes:
+            points = []
+            for ch in channels:
+                config = with_dram_channels(base, ch)
+                msb = find_msb(config, app, size, max_gbps=ceiling,
+                               app_options=options).msb_gbps
+                points.append((ch, msb))
+            per_size[f"{size}B"] = points
+        out[app_label] = per_size
+    return out
+
+
+def fig17_rob(packet_sizes: Sequence[int] = (128, 1518),
+              robs: Sequence[int] = (32, 128, 256, 512)
+              ) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """MSB vs ROB entries (paper Fig 17d-f)."""
+    base = gem5_default()
+    out: Dict[str, Dict[str, List[Tuple[int, float]]]] = {}
+    for app_key, app_label, ceiling, options in [
+            ("testpmd", "TestPMD", 70.0, None),
+            ("touchfwd", "TouchFwd", 20.0, None),
+            ("iperf", "iperf", 16.0, None)]:
+        app = _app_name(app_key)
+        per_size: Dict[str, List[Tuple[int, float]]] = {}
+        for size in packet_sizes:
+            points = []
+            for rob in robs:
+                config = with_rob(base, rob)
+                msb = find_msb(config, app, size, max_gbps=ceiling,
+                               app_options=options).msb_gbps
+                points.append((rob, msb))
+            per_size[f"{size}B"] = points
+        out[app_label] = per_size
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig 18 — memcached throughput vs drop rate
+# ----------------------------------------------------------------------
+
+def fig18_memcached_rps(
+        rps_points: Sequence[float] = (100_000, 200_000, 300_000, 400_000,
+                                       500_000, 600_000, 700_000, 800_000),
+        n_requests: int = 2500) -> Dict[str, List[Tuple[float, float]]]:
+    """Requests/second vs drop rate for both memcached flavours."""
+    config = gem5_default()
+    out: Dict[str, List[Tuple[float, float]]] = {}
+    for label, kernel in (("memcachedKernel", True),
+                          ("memcachedDpdk", False)):
+        points = []
+        for rps in rps_points:
+            result = run_memcached(config, kernel, float(rps),
+                                   n_requests=n_requests)
+            points.append((float(rps) / 1e3, result.drop_rate))
+        out[label] = points
+    return out
+
+
+def max_sustainable_rps(kernel: bool,
+                        rps_points: Sequence[float] = (
+                            100_000, 200_000, 300_000, 400_000, 500_000,
+                            600_000, 700_000, 800_000),
+                        drop_threshold: float = 0.01,
+                        n_requests: int = 2500) -> float:
+    """Highest request rate with drop rate within the threshold."""
+    config = gem5_default()
+    best = 0.0
+    for rps in rps_points:
+        result = run_memcached(config, kernel, float(rps),
+                               n_requests=n_requests)
+        if result.drop_rate <= drop_threshold:
+            best = float(rps)
+        else:
+            break
+    return best
+
+
+# ----------------------------------------------------------------------
+# Fig 19 — memcached latency vs frequency
+# ----------------------------------------------------------------------
+
+def fig19_memcached_latency(
+        freqs_ghz: Sequence[float] = (1.0, 2.0, 3.0, 4.0),
+        kernel_rps: Sequence[float] = (10_000, 80_000, 120_000, 200_000),
+        dpdk_rps: Sequence[float] = (200_000, 400_000, 600_000, 700_000),
+        n_requests: int = 2000) -> Dict[str, Dict[str, List[Tuple[float, float, float]]]]:
+    """Normalized mean latency + drop rate vs offered RPS per frequency.
+
+    Latencies are normalized to the 3GHz core at the lowest rate, as the
+    paper normalizes to a 3GHz core.
+    """
+    out: Dict[str, Dict[str, List[Tuple[float, float, float]]]] = {}
+    for label, kernel, rps_list in (
+            ("MemcachedKernel", True, kernel_rps),
+            ("MemcachedDPDK", False, dpdk_rps)):
+        per_freq: Dict[str, List[Tuple[float, float, float]]] = {}
+        baseline_latency: Optional[float] = None
+        for freq in freqs_ghz:
+            config = with_frequency(gem5_default(), freq * 1e9)
+            rows = []
+            for rps in rps_list:
+                result = run_memcached(config, kernel, float(rps),
+                                       n_requests=n_requests)
+                rows.append((float(rps) / 1e3, result.mean_latency_us,
+                             result.drop_rate))
+            per_freq[f"{freq:.0f}GHz"] = rows
+        # Normalize to the 3GHz row, lowest rate.
+        ref_rows = per_freq.get("3GHz")
+        if ref_rows:
+            baseline_latency = ref_rows[0][1] or 1.0
+            for key, rows in per_freq.items():
+                per_freq[key] = [
+                    (rps, lat / baseline_latency, drop)
+                    for rps, lat, drop in rows]
+        out[label] = per_freq
+    return out
+
+
+# ----------------------------------------------------------------------
+# Fig 20 — EtherLoadGen vs dual-mode simulation speed
+# ----------------------------------------------------------------------
+
+def fig20_loadgen_speedup(freqs_ghz: Sequence[float] = (1.0, 3.0),
+                          n_requests: int = 1200,
+                          rate_rps: float = 150_000.0
+                          ) -> Dict[str, List[Tuple[str, float]]]:
+    """Wall-clock speedup of EtherLoadGen over dual-mode simulation."""
+    from repro.system.dual_mode import run_dual_mode_comparison
+    out: Dict[str, List[Tuple[str, float]]] = {"kernel": [], "dpdk": []}
+    for freq in freqs_ghz:
+        config = with_frequency(gem5_default(), freq * 1e9)
+        for label, kernel in (("kernel", True), ("dpdk", False)):
+            result = run_dual_mode_comparison(
+                config, kernel=kernel, n_requests=n_requests,
+                rate_rps=rate_rps)
+            out[label].append((f"{freq:.0f}GHz",
+                               result.speedup_fraction * 100.0))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Headline: DPDK vs kernel bandwidth
+# ----------------------------------------------------------------------
+
+def headline_speedup(packet_size: int = 1518) -> Dict[str, float]:
+    """The paper's headline: userspace networking improves gem5's network
+    bandwidth ~6.3x over the kernel stack (§I / abstract)."""
+    config = gem5_default()
+    dpdk = find_msb(config, "testpmd", packet_size).msb_gbps
+    kernel = find_msb(config, "iperf", packet_size, max_gbps=16.0).msb_gbps
+    return {
+        "dpdk_gbps": dpdk,
+        "kernel_gbps": kernel,
+        "speedup": dpdk / kernel if kernel else float("inf"),
+    }

@@ -1,0 +1,118 @@
+"""Maximum sustainable bandwidth (MSB) search.
+
+"We define MSB as the network bandwidth at the point on the bandwidth
+versus packet drop graph where the drop rate exceeds 1%." (paper §VII.C)
+
+At the knee, offered load equals the node's service capacity, so the MSB
+is measured directly as *delivered throughput under saturation*: a first
+run overloads the node and reads its steady-state service rate; a second
+run at a mild overload of that estimate refines it (heavy overload can
+distort capacity through permanently-full rings and larger cache
+footprints).  ``bandwidth_sweep`` produces the full bandwidth-vs-drop
+curves of Figs 6-9 from independent fixed-rate runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.harness.runner import run_fixed_load
+from repro.loadgen.ether_load_gen import gbps_for_pps, pps_for_gbps
+from repro.system.config import SystemConfig
+
+DROP_THRESHOLD = 0.01
+REFINE_OVERLOAD = 1.2
+
+
+def _saturation_warmup_us(config: SystemConfig) -> float:
+    """Warm-up for saturation runs: the first packet only reaches the node
+    after the link's one-way delay, and the rings/FIFO need time to reach
+    their saturated steady state after that."""
+    return config.link_delay_us + 150.0
+
+
+@dataclass
+class MsbResult:
+    """The located knee plus any curve points gathered on the way."""
+
+    label: str
+    app: str
+    packet_size: int
+    msb_gbps: float
+    curve: List[Tuple[float, float]] = field(default_factory=list)
+    # (offered_gbps, drop_rate) points
+
+    def drop_at(self, gbps: float) -> Optional[float]:
+        """Drop rate of the curve point nearest ``gbps``."""
+        if not self.curve:
+            return None
+        return min(self.curve, key=lambda pt: abs(pt[0] - gbps))[1]
+
+
+def _clamped_ceiling(config: SystemConfig, packet_size: int,
+                     gbps: float) -> float:
+    """Respect a software load generator's pps ceiling (altra client)."""
+    if config.software_loadgen_max_pps is None:
+        return gbps
+    ceiling = gbps_for_pps(config.software_loadgen_max_pps, packet_size)
+    return min(gbps, ceiling)
+
+
+def find_msb(config: SystemConfig, app_name: str, packet_size: int,
+             max_gbps: float = 70.0, n_packets: int = 2500,
+             app_options: Optional[dict] = None,
+             seed: int = 0) -> MsbResult:
+    """Two-run saturation measurement of the MSB."""
+    if app_name == "touchdrop":
+        raise ValueError(
+            "MSB is undefined for TouchDrop (drop rate is always 100%; "
+            "the paper excludes it for the same reason, §VII)")
+    max_gbps = _clamped_ceiling(config, packet_size, max_gbps)
+    curve: List[Tuple[float, float]] = []
+
+    warmup_us = _saturation_warmup_us(config)
+    first = run_fixed_load(config, app_name, packet_size, max_gbps,
+                           n_packets=n_packets, app_options=app_options,
+                           warmup_us=warmup_us, seed=seed)
+    curve.append((first.offered_gbps, first.drop_rate))
+    if first.drop_rate <= DROP_THRESHOLD:
+        # The node sustains the ceiling itself (or the software client is
+        # the bottleneck, the altra small-packet case).
+        return MsbResult(label=config.label, app=app_name,
+                         packet_size=packet_size,
+                         msb_gbps=first.offered_gbps, curve=curve)
+
+    estimate = first.service_gbps
+    refine_rate = min(max_gbps, max(estimate * REFINE_OVERLOAD,
+                                    max_gbps / 100.0))
+    second = run_fixed_load(config, app_name, packet_size, refine_rate,
+                            n_packets=n_packets, app_options=app_options,
+                            warmup_us=warmup_us, seed=seed + 1)
+    curve.append((second.offered_gbps, second.drop_rate))
+    if second.drop_rate <= DROP_THRESHOLD:
+        msb = second.offered_gbps
+    else:
+        msb = second.service_gbps
+    return MsbResult(label=config.label, app=app_name,
+                     packet_size=packet_size, msb_gbps=msb, curve=curve)
+
+
+def bandwidth_sweep(config: SystemConfig, app_name: str, packet_size: int,
+                    rates_gbps: List[float], n_packets: int = 1500,
+                    app_options: Optional[dict] = None,
+                    seed: int = 0) -> List[Tuple[float, float]]:
+    """The bandwidth-vs-drop-rate curve (Figs 6-9): one independent
+    fixed-rate run per point.  Returns (offered_gbps, drop_rate) pairs."""
+    points: List[Tuple[float, float]] = []
+    for i, gbps in enumerate(rates_gbps):
+        clamped = _clamped_ceiling(config, packet_size, gbps)
+        if points and abs(clamped - points[-1][0]) < 1e-9:
+            # The software client ceiling flattens further points; the
+            # curve simply ends there (as altra's does in Fig 6).
+            continue
+        result = run_fixed_load(config, app_name, packet_size, clamped,
+                                n_packets=n_packets,
+                                app_options=app_options, seed=seed + i)
+        points.append((result.offered_gbps, result.drop_rate))
+    return points

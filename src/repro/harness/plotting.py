@@ -1,0 +1,93 @@
+"""ASCII rendering of figure-style data.
+
+The benchmark suite prints numeric series; these helpers render them as
+terminal scatter/line plots so the *shape* of a reproduced figure (knees,
+crossovers, plateaus) is visible at a glance without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(pos * (cells - 1)))))
+
+
+def ascii_plot(series: Dict[str, Sequence[Tuple[float, float]]],
+               width: int = 64, height: int = 16,
+               x_label: str = "x", y_label: str = "y",
+               title: str = "") -> str:
+    """Render named (x, y) series on one shared-axis character grid.
+
+    Each series gets a marker from :data:`MARKERS` (cycled); overlapping
+    points keep the first-drawn marker.  Returns the multi-line string.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("all series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+    if x_lo == x_hi:
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, pts) in enumerate(sorted(series.items())):
+        marker = MARKERS[index % len(MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(pad)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}|")
+    axis = f"{' ' * pad} +{'-' * width}+"
+    lines.append(axis)
+    lines.append(f"{' ' * pad}  {f'{x_lo:.3g}'.ljust(width - 8)}"
+                 f"{f'{x_hi:.3g}'.rjust(8)}")
+    lines.append(f"{' ' * pad}  {x_label} -> ({y_label})")
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_bars(values: Dict[str, float], width: int = 50,
+               title: str = "") -> str:
+    """Horizontal bar chart for figure panels that are bar groups."""
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(abs(v) for v in values.values()) or 1.0
+    name_pad = max(len(name) for name in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, value in values.items():
+        bar = "#" * max(0, int(round(abs(value) / peak * width)))
+        lines.append(f"{name.rjust(name_pad)} |{bar} {value:.3g}")
+    return "\n".join(lines)

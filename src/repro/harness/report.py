@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width table with a title rule."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Dict[str, List[tuple]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Multiple named (x, y) series, one block per series — the textual
+    equivalent of a figure's line plot."""
+    lines = [title, "=" * len(title)]
+    for name in sorted(series):
+        lines.append(f"[{name}]  ({x_label} -> {y_label})")
+        for x, y in series[name]:
+            lines.append(f"    {_fmt(x):>10}  {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,274 @@
+"""Run primitives: build a node, load it, collect results.
+
+Methodology mirrors the paper's §VI.A: the node is warmed up under load,
+statistics are reset, a measured window runs, then the wire drains before
+results are read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.apps.iperf import IperfServer
+from repro.apps.memcached_dpdk import MemcachedDpdk
+from repro.apps.memcached_kernel import MemcachedKernel
+from repro.apps.rxptx import RxPTx
+from repro.apps.testpmd import TestPmd
+from repro.apps.touchdrop import TouchDrop
+from repro.apps.touchfwd import TouchFwd
+from repro.kvstore.store import KvStore
+from repro.loadgen.ether_load_gen import (
+    SyntheticConfig,
+    gbps_for_pps,
+    pps_for_gbps,
+)
+from repro.loadgen.memcached_client import MemcachedClientConfig
+from repro.system.config import SystemConfig
+from repro.system.node import DpdkNode, KernelNode
+
+# app name -> (node class, app class, echoes responses)
+APP_REGISTRY: Dict[str, Tuple[type, type, bool]] = {
+    "testpmd": (DpdkNode, TestPmd, True),
+    "touchfwd": (DpdkNode, TouchFwd, True),
+    "touchdrop": (DpdkNode, TouchDrop, False),
+    "rxptx": (DpdkNode, RxPTx, True),
+    "memcached_dpdk": (DpdkNode, MemcachedDpdk, True),
+    "iperf": (KernelNode, IperfServer, True),
+    "memcached_kernel": (KernelNode, MemcachedKernel, True),
+}
+
+
+def build_node(config: SystemConfig, app_name: str,
+               app_options: Optional[dict] = None, seed: int = 0):
+    """Build a ready-to-run Test Node for a registered application.
+
+    Memcached apps get a KvStore created in the node's address space
+    automatically.
+    """
+    if app_name not in APP_REGISTRY:
+        raise ValueError(
+            f"unknown app {app_name!r}; expected one of "
+            f"{sorted(APP_REGISTRY)}")
+    node_class, app_class, _echoes = APP_REGISTRY[app_name]
+    node = node_class(config, seed=seed)
+    options = dict(app_options or {})
+    if app_name in ("memcached_dpdk", "memcached_kernel") \
+            and "store" not in options:
+        options["store"] = KvStore(node.address_space)
+    node.install_app(app_class, **options)
+    return node
+
+
+@dataclass
+class FixedLoadResult:
+    """Outcome of one fixed-rate run."""
+
+    label: str
+    app: str
+    packet_size: int
+    offered_gbps: float
+    delivered_gbps: float
+    drop_rate: float
+    sent: int
+    delivered: int
+    drop_breakdown: Dict[str, float] = field(default_factory=dict)
+    latency_us: Dict[str, float] = field(default_factory=dict)
+    llc_miss_rate: float = 0.0
+    dma_leaked_lines: int = 0
+    # The node's measured packet service rate during the window (the
+    # saturation throughput; equals the MSB when the node is overloaded).
+    service_gbps: float = 0.0
+
+    @property
+    def mean_latency_us(self) -> float:
+        """Mean round-trip latency in microseconds."""
+        return self.latency_us.get("mean", 0.0)
+
+
+def _effective_rate(config: SystemConfig, gbps: float,
+                    packet_size: int) -> float:
+    """Clamp the offered rate by the software load-generator ceiling when
+    the platform uses one (the altra/Pktgen client bottleneck, Fig 6)."""
+    if config.software_loadgen_max_pps is None:
+        return gbps
+    pps = pps_for_gbps(gbps, packet_size)
+    pps = min(pps, config.software_loadgen_max_pps)
+    return gbps_for_pps(pps, packet_size)
+
+
+def run_fixed_load(config: SystemConfig, app_name: str, packet_size: int,
+                   gbps: float, n_packets: int = 2000,
+                   app_options: Optional[dict] = None,
+                   warmup_us: Optional[float] = None,
+                   seed: int = 0) -> FixedLoadResult:
+    """Load the node at a fixed rate and measure drops/latency."""
+    node = build_node(config, app_name, app_options, seed=seed)
+    loadgen = node.attach_loadgen()
+    _node_class, _app_class, echoes = APP_REGISTRY[app_name]
+    effective_gbps = _effective_rate(config, gbps, packet_size)
+    node.start()
+    loadgen.start_synthetic(SyntheticConfig(
+        packet_size=packet_size,
+        rate_gbps=effective_gbps,
+        count=None,
+        expect_responses=echoes,
+    ))
+    # Warm up under load until the node's caches have cycled their working
+    # sets (a packet-count criterion: slow kernel-stack apps need far more
+    # simulated time than fast DPDK apps), then reset statistics (the gem5
+    # methodology of §VI.A).
+    min_warm = max(warmup_us if warmup_us is not None
+                   else config.warmup_us, config.link_delay_us + 100.0)
+    warm_target = 500
+    node.run_us(min_warm)
+    for _ in range(60):
+        if node.app.packets_processed >= warm_target:
+            break
+        node.run_us(200.0)
+    node.sim.reset_stats()
+    node.hierarchy.reset_counters()
+    node.core.reset_counters()
+    node.dma.reset_counters()
+    node.iobus.reset_counters()
+
+    # Measured window: enough sends for n_packets AND enough processed
+    # packets for a stable steady-state service-rate estimate.
+    pps = pps_for_gbps(effective_gbps, packet_size)
+    window_us = max(n_packets / pps * 1e6, 300.0)
+    node.run_us(window_us)
+    min_processed = 400
+    for _ in range(80):
+        if node.app.packets_processed >= min_processed:
+            break
+        node.run_us(250.0)
+        window_us += 250.0
+    processed_in_window = node.app.packets_processed
+    service_gbps = (processed_in_window / (window_us * 1e-6)
+                    * packet_size * 8 / 1e9)
+    loadgen.stop()
+    # Drain: the round trip plus however long the node needs to work
+    # through its queued backlog (heavily-overloaded runs hold hundreds of
+    # packets in the FIFO and rings).
+    node.run_us(2 * config.link_delay_us + 200.0)
+    for _ in range(40):
+        nic = node.nic
+        if (len(nic.rx_fifo) == 0 and nic.rx_ring.completed_count == 0
+                and nic.rx_ring.pending_writeback_count == 0
+                and nic.tx_ring.occupancy == 0):
+            break
+        node.run_us(200.0)
+    node.run_us(2 * config.link_delay_us + 100.0)
+
+    sent = loadgen.tx_packets
+    if echoes:
+        delivered = loadgen.rx_packets
+    else:
+        delivered = min(sent, node.app.packets_processed)
+    drop_rate = max(0.0, 1.0 - delivered / sent) if sent else 0.0
+    return FixedLoadResult(
+        label=config.label,
+        app=app_name,
+        packet_size=packet_size,
+        offered_gbps=effective_gbps,
+        delivered_gbps=effective_gbps * (1.0 - drop_rate),
+        drop_rate=drop_rate,
+        sent=sent,
+        delivered=delivered,
+        drop_breakdown=node.nic.drop_fsm.breakdown(),
+        latency_us=loadgen.latency.summary(),
+        llc_miss_rate=node.hierarchy.llc_miss_rate(),
+        dma_leaked_lines=node.hierarchy.dma_leaked_lines,
+        service_gbps=service_gbps,
+    )
+
+
+@dataclass
+class MemcachedRunResult:
+    """Outcome of one memcached run."""
+
+    label: str
+    kernel: bool
+    offered_rps: float
+    achieved_rps: float
+    drop_rate: float
+    requests_sent: int
+    responses: int
+    latency_us: Dict[str, float] = field(default_factory=dict)
+    get_hits: int = 0
+    get_misses: int = 0
+    drop_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_latency_us(self) -> float:
+        """Mean round-trip latency in microseconds."""
+        return self.latency_us.get("mean", 0.0)
+
+    @property
+    def delivered_rps(self) -> float:
+        """Offered rate scaled by the delivered fraction."""
+        return self.offered_rps * (1.0 - self.drop_rate)
+
+
+def run_memcached(config: SystemConfig, kernel: bool, rate_rps: float,
+                  n_requests: int = 4000,
+                  client_config: Optional[MemcachedClientConfig] = None,
+                  seed: int = 0) -> MemcachedRunResult:
+    """Load a memcached server (kernel or DPDK) at a fixed request rate."""
+    app_name = "memcached_kernel" if kernel else "memcached_dpdk"
+    node = build_node(config, app_name, seed=seed)
+    base = client_config or MemcachedClientConfig()
+    cfg = MemcachedClientConfig(
+        n_warm_keys=base.n_warm_keys,
+        n_requests=n_requests,
+        get_fraction=base.get_fraction,
+        size_min=base.size_min,
+        size_max=base.size_max,
+        size_skew=base.size_skew,
+        rate_rps=rate_rps,
+        distribution=base.distribution,
+    )
+    client = node.attach_memcached_client(cfg)
+    client.preload(node.app.store)   # functional warm-up (5000 keys)
+    node.start()
+    # Packet-driven warm-up: bring caches/BTB-analogue state to steady
+    # state at a comfortable rate before measuring (paper §VI.A).
+    warm_requests = 400
+    warm_rate = min(rate_rps, 120_000.0)
+    client.run_warmup(warm_requests, warm_rate)
+    node.run_us(warm_requests / warm_rate * 1e6
+                + 2 * config.link_delay_us + 500.0)
+    node.sim.reset_stats()
+    client.reset_measurements()
+    node.hierarchy.reset_counters()
+    node.core.reset_counters()
+    client.start()
+    # Run to completion of the request phase, then drain the backlog.
+    duration_us = n_requests / rate_rps * 1e6
+    node.run_us(duration_us + 2 * config.link_delay_us + 500.0)
+    for _ in range(40):
+        nic = node.nic
+        if (len(nic.rx_fifo) == 0 and nic.rx_ring.completed_count == 0
+                and nic.rx_ring.pending_writeback_count == 0
+                and nic.tx_ring.occupancy == 0):
+            break
+        node.run_us(200.0)
+    node.run_us(2 * config.link_delay_us + 100.0)
+    # End-to-end drops under-count in short overloaded runs (the ring and
+    # FIFO buffer a bounded backlog that eventually drains); the NIC's own
+    # drop counter sees the steady-state loss directly.
+    nic_drop_fraction = (node.nic.stat_rx_drops.value
+                         / max(client.requests_sent, 1))
+    return MemcachedRunResult(
+        label=config.label,
+        kernel=kernel,
+        offered_rps=rate_rps,
+        achieved_rps=client.achieved_rps(),
+        drop_rate=max(client.drop_rate, min(1.0, nic_drop_fraction)),
+        requests_sent=client.requests_sent,
+        responses=client.responses_received,
+        latency_us=client.latency.summary(),
+        get_hits=client.get_hits,
+        get_misses=client.get_misses,
+        drop_breakdown=node.nic.drop_fsm.breakdown(),
+    )

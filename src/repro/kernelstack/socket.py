@@ -1,0 +1,52 @@
+"""Socket buffer model.
+
+A bounded receive queue between softirq protocol processing and the
+application's recv path.  When the application cannot keep up, the socket
+buffer overflows and packets are dropped inside the host — invisible to
+the NIC's drop FSM, visible in the loadgen's end-to-end drop accounting,
+matching how kernel-stack drops actually manifest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.net.packet import Packet
+
+
+class UdpSocketModel:
+    """A UDP socket's receive queue (SO_RCVBUF in packets)."""
+
+    def __init__(self, rcvbuf_packets: int = 256) -> None:
+        if rcvbuf_packets < 1:
+            raise ValueError("receive buffer must hold at least one packet")
+        self.rcvbuf_packets = rcvbuf_packets
+        self._queue: Deque[Packet] = deque()
+        self.delivered = 0
+        self.overflow_drops = 0
+
+    @property
+    def queued(self) -> int:
+        """Packets waiting in the receive queue."""
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        """True when no further item can be accepted."""
+        return len(self._queue) >= self.rcvbuf_packets
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Protocol layer delivers a packet; False on overflow drop."""
+        if self.full:
+            self.overflow_drops += 1
+            return False
+        self._queue.append(packet)
+        return True
+
+    def recv(self) -> Optional[Packet]:
+        """Application receives one packet (non-blocking)."""
+        if not self._queue:
+            return None
+        self.delivered += 1
+        return self._queue.popleft()

@@ -1,0 +1,40 @@
+"""In-memory key-value store substrate.
+
+The workload behind the paper's MemcachedDPDK / MemcachedKernel
+evaluations: a hash-table KV store with real memory regions (so lookups
+produce dependent pointer-chasing work for the core models), the memcached
+UDP binary framing the clients and servers exchange, and the Zipfian
+key/value-size generator the paper configures (min=10, max=100, skew=0.5,
+§VI.A).
+"""
+
+from repro.kvstore.zipf import ZipfianGenerator
+from repro.kvstore.protocol import (
+    MEMCACHED_UDP_HEADER_LEN,
+    REQUEST_HEADER_LEN,
+    GetRequest,
+    GetResponse,
+    SetRequest,
+    SetResponse,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.kvstore.store import KvStore, LookupFootprint
+
+__all__ = [
+    "ZipfianGenerator",
+    "MEMCACHED_UDP_HEADER_LEN",
+    "REQUEST_HEADER_LEN",
+    "GetRequest",
+    "GetResponse",
+    "SetRequest",
+    "SetResponse",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "KvStore",
+    "LookupFootprint",
+]

@@ -1,0 +1,126 @@
+"""Memcached UDP protocol framing.
+
+"The payload is encapsulated in a Memcached UDP header, a request header
+containing metadata, and an Ethernet II frame header" (paper §VI.A).  The
+8-byte memcached UDP frame header carries the request ID that
+EtherLoadGen uses to "track a map of outstanding requests"; the request
+header carries opcode, key length and value length.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Union
+
+MEMCACHED_UDP_HEADER_LEN = 8    # request id, seq, count, reserved (2B each)
+REQUEST_HEADER_LEN = 8          # opcode(1), status(1), keylen(2), vallen(4)
+
+OP_GET = 0x00
+OP_SET = 0x01
+OP_GET_RESPONSE = 0x80
+OP_SET_RESPONSE = 0x81
+
+STATUS_OK = 0
+STATUS_MISS = 1
+
+
+@dataclass(frozen=True)
+class GetRequest:
+    """A GET for ``key``."""
+    request_id: int
+    key: bytes
+
+
+@dataclass(frozen=True)
+class SetRequest:
+    """A SET of ``key`` to ``value``."""
+    request_id: int
+    key: bytes
+    value: bytes
+
+
+@dataclass(frozen=True)
+class GetResponse:
+    """The reply to a GET (hit flag + value)."""
+    request_id: int
+    hit: bool
+    value: bytes
+
+
+@dataclass(frozen=True)
+class SetResponse:
+    """The acknowledgement of a SET."""
+    request_id: int
+
+
+Request = Union[GetRequest, SetRequest]
+Response = Union[GetResponse, SetResponse]
+
+
+def _udp_frame_header(request_id: int) -> bytes:
+    return struct.pack(">HHHH", request_id & 0xFFFF, 0, 1, 0)
+
+
+def encode_request(request: Request) -> bytes:
+    """Serialize a request to the memcached-over-UDP wire format."""
+    if isinstance(request, GetRequest):
+        header = struct.pack(">BBHI", OP_GET, 0, len(request.key), 0)
+        return (_udp_frame_header(request.request_id) + header
+                + request.key)
+    if isinstance(request, SetRequest):
+        header = struct.pack(">BBHI", OP_SET, 0, len(request.key),
+                             len(request.value))
+        return (_udp_frame_header(request.request_id) + header
+                + request.key + request.value)
+    raise TypeError(f"not a request: {request!r}")
+
+
+def encode_response(response: Response) -> bytes:
+    """Serialize a response."""
+    if isinstance(response, GetResponse):
+        status = STATUS_OK if response.hit else STATUS_MISS
+        header = struct.pack(">BBHI", OP_GET_RESPONSE, status, 0,
+                             len(response.value))
+        return (_udp_frame_header(response.request_id) + header
+                + response.value)
+    if isinstance(response, SetResponse):
+        header = struct.pack(">BBHI", OP_SET_RESPONSE, STATUS_OK, 0, 0)
+        return _udp_frame_header(response.request_id) + header
+    raise TypeError(f"not a response: {response!r}")
+
+
+def _split(payload: bytes) -> tuple:
+    if len(payload) < MEMCACHED_UDP_HEADER_LEN + REQUEST_HEADER_LEN:
+        raise ValueError(f"truncated memcached frame: {len(payload)}B")
+    request_id = struct.unpack_from(">H", payload, 0)[0]
+    opcode, status, keylen, vallen = struct.unpack_from(
+        ">BBHI", payload, MEMCACHED_UDP_HEADER_LEN)
+    body = payload[MEMCACHED_UDP_HEADER_LEN + REQUEST_HEADER_LEN:]
+    return request_id, opcode, status, keylen, vallen, body
+
+
+def decode_request(payload: bytes) -> Request:
+    """Parse a request frame."""
+    request_id, opcode, _status, keylen, vallen, body = _split(payload)
+    if len(body) < keylen + (vallen if opcode == OP_SET else 0):
+        raise ValueError("memcached frame body shorter than headers claim")
+    key = body[:keylen]
+    if opcode == OP_GET:
+        return GetRequest(request_id=request_id, key=key)
+    if opcode == OP_SET:
+        return SetRequest(request_id=request_id, key=key,
+                          value=body[keylen:keylen + vallen])
+    raise ValueError(f"unknown request opcode {opcode:#x}")
+
+
+def decode_response(payload: bytes) -> Response:
+    """Parse a response frame."""
+    request_id, opcode, status, _keylen, vallen, body = _split(payload)
+    if opcode == OP_GET_RESPONSE:
+        return GetResponse(request_id=request_id,
+                           hit=(status == STATUS_OK),
+                           value=body[:vallen])
+    if opcode == OP_SET_RESPONSE:
+        return SetResponse(request_id=request_id)
+    raise ValueError(f"unknown response opcode {opcode:#x}")

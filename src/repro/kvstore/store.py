@@ -1,0 +1,135 @@
+"""The in-memory key-value store.
+
+A chained hash table whose buckets, entries and values live at real
+simulated addresses, so a lookup produces a *dependent* load chain (bucket
+head -> entry -> value) that the out-of-order core cannot parallelize —
+the reason memcached stays core-bound in the paper's frequency sweep
+("the memcached application is core-bound for the small dataset size that
+we run", §VII.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.kernels import lines_covering
+from repro.mem.address import AddressSpace
+
+
+@dataclass
+class LookupFootprint:
+    """Memory footprint of one store operation."""
+
+    dependent_reads: List[int]   # bucket/entry pointer chain
+    value_lines: List[int]       # value data lines (read on GET, written on SET)
+    hit: bool
+
+
+@dataclass
+class _Entry:
+    key: bytes
+    value_addr: int
+    value_len: int
+    chain_depth: int
+    entry_addr: int = 0
+
+
+class KvStore:
+    """Chained hash table with a bump-allocated value heap."""
+
+    ENTRY_SIZE = 64          # one cache line per entry
+    BUCKET_SIZE = 8          # bucket head pointer
+
+    def __init__(self, address_space: AddressSpace, n_buckets: int = 4096,
+                 value_heap_bytes: int = 4 * 1024 * 1024) -> None:
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.n_buckets = n_buckets
+        self.buckets_region = address_space.allocate(
+            "kvstore.buckets", n_buckets * self.BUCKET_SIZE)
+        self.entries_region = address_space.allocate(
+            "kvstore.entries", n_buckets * 4 * self.ENTRY_SIZE)
+        self.values_region = address_space.allocate(
+            "kvstore.values", value_heap_bytes)
+        self._table: Dict[int, List[_Entry]] = {}
+        self._entry_cursor = 0
+        self._value_cursor = 0
+        self.gets = 0
+        self.sets = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _bucket_index(self, key: bytes) -> int:
+        # FNV-1a, deterministic across runs (unlike hash()).
+        h = 0xCBF29CE484222325
+        for byte in key:
+            h = ((h ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return h % self.n_buckets
+
+    def _bucket_addr(self, index: int) -> int:
+        return self.buckets_region.addr(index * self.BUCKET_SIZE)
+
+    def _alloc_entry_addr(self) -> int:
+        addr = self.entries_region.wrap_addr(self._entry_cursor)
+        self._entry_cursor += self.ENTRY_SIZE
+        return addr
+
+    def _alloc_value(self, nbytes: int) -> int:
+        addr = self.values_region.wrap_addr(self._value_cursor)
+        self._value_cursor += max(nbytes, 1)
+        return addr
+
+    @property
+    def size(self) -> int:
+        """Number of stored key/value entries."""
+        return sum(len(chain) for chain in self._table.values())
+
+    def set(self, key: bytes, value: bytes) -> LookupFootprint:
+        """Insert or update; returns the operation's memory footprint."""
+        self.sets += 1
+        index = self._bucket_index(key)
+        chain = self._table.setdefault(index, [])
+        dependent = [self._bucket_addr(index)]
+        for depth, entry in enumerate(chain):
+            dependent.append(self._entry_addr_for(entry))
+            if entry.key == key:
+                entry.value_addr = self._alloc_value(len(value))
+                entry.value_len = len(value)
+                return LookupFootprint(
+                    dependent_reads=dependent,
+                    value_lines=lines_covering(entry.value_addr, len(value)),
+                    hit=True)
+        value_addr = self._alloc_value(len(value))
+        entry = _Entry(key=key, value_addr=value_addr, value_len=len(value),
+                       chain_depth=len(chain),
+                       entry_addr=self._alloc_entry_addr())
+        chain.append(entry)
+        dependent.append(entry.entry_addr)
+        return LookupFootprint(
+            dependent_reads=dependent,
+            value_lines=lines_covering(value_addr, len(value)),
+            hit=False)
+
+    def _entry_addr_for(self, entry: _Entry) -> int:
+        return entry.entry_addr
+
+    def get(self, key: bytes) -> Tuple[Optional[bytes], LookupFootprint]:
+        """Look up; returns (value-or-None, footprint)."""
+        self.gets += 1
+        index = self._bucket_index(key)
+        dependent = [self._bucket_addr(index)]
+        for entry in self._table.get(index, []):
+            dependent.append(self._entry_addr_for(entry))
+            if entry.key == key:
+                self.hits += 1
+                footprint = LookupFootprint(
+                    dependent_reads=dependent,
+                    value_lines=lines_covering(entry.value_addr,
+                                               entry.value_len),
+                    hit=True)
+                # Values are synthetic: length is what matters on the wire.
+                return bytes(entry.value_len), footprint
+        self.misses += 1
+        return None, LookupFootprint(dependent_reads=dependent,
+                                     value_lines=[], hit=False)

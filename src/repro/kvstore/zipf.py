@@ -1,0 +1,55 @@
+"""Zipfian sampling.
+
+"our Memcached client implementation generates key and value sizes using a
+Zipfian distribution with control parameters for key length/value length,
+specifically: min = 10, max = 100, and skew = 0.5" (paper §VI.A).
+
+The generator precomputes the CDF over the integer range once, then draws
+via binary search — O(log n) per sample and fully deterministic under the
+simulation RNG.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List
+
+from repro.sim.rng import DeterministicRng
+
+
+class ZipfianGenerator:
+    """Zipf-distributed integers over [minimum, maximum]."""
+
+    def __init__(self, minimum: int, maximum: int, skew: float,
+                 rng: DeterministicRng) -> None:
+        if minimum > maximum:
+            raise ValueError(f"empty range [{minimum}, {maximum}]")
+        if skew < 0:
+            raise ValueError(f"negative skew {skew}")
+        self.minimum = minimum
+        self.maximum = maximum
+        self.skew = skew
+        self._rng = rng
+        n = maximum - minimum + 1
+        weights = [1.0 / (rank ** skew) for rank in range(1, n + 1)]
+        total = sum(weights)
+        cdf: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cdf.append(acc)
+        cdf[-1] = 1.0   # guard against float round-off
+        self._cdf = cdf
+
+    def sample(self) -> int:
+        """Draw one value; rank 1 (-> ``minimum``) is the most likely."""
+        u = self._rng.random()
+        rank = bisect.bisect_left(self._cdf, u)
+        return self.minimum + min(rank, self.maximum - self.minimum)
+
+    def expected_head_fraction(self, head_ranks: int) -> float:
+        """CDF mass of the first ``head_ranks`` ranks (for tests)."""
+        if head_ranks < 1:
+            return 0.0
+        idx = min(head_ranks, len(self._cdf)) - 1
+        return self._cdf[idx]

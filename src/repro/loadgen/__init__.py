@@ -1,0 +1,48 @@
+"""The hardware load generator model (paper §IV).
+
+``EtherLoadGen`` has a single Ethernet port that connects directly to the
+NIC of a simulated Test Node — no Drive Node simulation needed.  It
+supports:
+
+- **synthetic mode**: configurable packet rate, size, and inter-arrival
+  distribution, with a timestamp embedded in each outgoing packet for
+  per-packet round-trip latency measurement;
+- **trace mode**: replay of standard PCAP files (tcpdump / dpdk-pdump
+  captures), rewriting the destination MAC to the simulated system's and
+  pacing either by trace timestamps or a fixed rate;
+- **bandwidth-test mode**: a stepped rate ramp that finds the maximum
+  sustainable bandwidth (the knee of the bandwidth-vs-drop curve);
+- a memcached client personality that replays GET/SET mixes and tracks a
+  map of outstanding requests by request ID.
+"""
+
+from repro.loadgen.distributions import (
+    ExponentialInterArrival,
+    FixedInterArrival,
+    UniformInterArrival,
+    make_inter_arrival,
+)
+from repro.loadgen.latency import LatencyTracker
+from repro.loadgen.ether_load_gen import (
+    EtherLoadGen,
+    RampConfig,
+    RampStepResult,
+    SyntheticConfig,
+    TraceConfig,
+)
+from repro.loadgen.memcached_client import MemcachedClient, MemcachedClientConfig
+
+__all__ = [
+    "ExponentialInterArrival",
+    "FixedInterArrival",
+    "UniformInterArrival",
+    "make_inter_arrival",
+    "LatencyTracker",
+    "EtherLoadGen",
+    "RampConfig",
+    "RampStepResult",
+    "SyntheticConfig",
+    "TraceConfig",
+    "MemcachedClient",
+    "MemcachedClientConfig",
+]

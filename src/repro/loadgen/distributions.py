@@ -1,0 +1,77 @@
+"""Packet inter-arrival time distributions.
+
+EtherLoadGen's synthetic mode sends "packets based on a set of configurable
+parameters such as packet rate, packet inter-arrival time distribution,
+packet size, and protocol" (§IV).  All distributions are parameterized by
+mean rate in packets/second and produce integer tick gaps.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import DeterministicRng
+from repro.sim.ticks import TICKS_PER_SEC
+
+
+class FixedInterArrival:
+    """Constant-rate (deterministic) spacing."""
+
+    def __init__(self, rate_pps: float) -> None:
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_pps = rate_pps
+        self._gap = TICKS_PER_SEC / rate_pps
+        self._acc = 0.0
+
+    def next_gap_ticks(self) -> int:
+        # Accumulate the fractional part so long runs hit the exact rate.
+        """Ticks until the next packet departure."""
+        self._acc += self._gap
+        gap = int(self._acc)
+        self._acc -= gap
+        return gap
+
+
+class ExponentialInterArrival:
+    """Poisson arrivals (exponential gaps) — an open-loop client."""
+
+    def __init__(self, rate_pps: float, rng: DeterministicRng) -> None:
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_pps = rate_pps
+        self._rng = rng
+
+    def next_gap_ticks(self) -> int:
+        """Ticks until the next packet departure."""
+        gap_s = self._rng.expovariate(self.rate_pps)
+        return max(1, round(gap_s * TICKS_PER_SEC))
+
+
+class UniformInterArrival:
+    """Uniform jitter around the mean gap (+/- ``jitter`` fraction)."""
+
+    def __init__(self, rate_pps: float, rng: DeterministicRng,
+                 jitter: float = 0.5) -> None:
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        if not 0 <= jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+        self.rate_pps = rate_pps
+        self._rng = rng
+        mean_gap = TICKS_PER_SEC / rate_pps
+        self._lo = mean_gap * (1 - jitter)
+        self._hi = mean_gap * (1 + jitter)
+
+    def next_gap_ticks(self) -> int:
+        """Ticks until the next packet departure."""
+        return max(1, round(self._rng.uniform(self._lo, self._hi)))
+
+
+def make_inter_arrival(kind: str, rate_pps: float, rng: DeterministicRng):
+    """Factory by distribution name."""
+    if kind == "fixed":
+        return FixedInterArrival(rate_pps)
+    if kind == "exponential":
+        return ExponentialInterArrival(rate_pps, rng)
+    if kind == "uniform":
+        return UniformInterArrival(rate_pps, rng)
+    raise ValueError(f"unknown inter-arrival distribution {kind!r}")

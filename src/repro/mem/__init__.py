@@ -1,0 +1,27 @@
+"""Memory hierarchy substrate.
+
+Set-associative caches (L1I/L1D/L2/LLC) with LRU replacement, inclusive
+back-invalidation and MSHR-limited miss parallelism; an LLC that supports
+Direct Cache Access way-partitioning (ARM cache stashing, paper §III.A.4);
+a multi-channel DDR4-style DRAM model with per-bank row-buffer tracking;
+and bandwidth-server buses for the I/O (PCIe) and memory paths.
+"""
+
+from repro.mem.address import AddressSpace, Region
+from repro.mem.cache import CacheConfig, SetAssocCache
+from repro.mem.dram import DramConfig, DramModel
+from repro.mem.hierarchy import AccessResult, HierarchyConfig, MemoryHierarchy
+from repro.mem.xbar import BandwidthServer
+
+__all__ = [
+    "AddressSpace",
+    "Region",
+    "CacheConfig",
+    "SetAssocCache",
+    "DramConfig",
+    "DramModel",
+    "AccessResult",
+    "HierarchyConfig",
+    "MemoryHierarchy",
+    "BandwidthServer",
+]

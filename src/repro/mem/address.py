@@ -1,0 +1,76 @@
+"""Physical address space layout.
+
+Every memory structure in the simulated host — descriptor rings, mempool
+buffers, socket buffers, kernel text, the key-value store's hash table —
+lives in a named :class:`Region` carved out of one :class:`AddressSpace`.
+Cache behaviour (and therefore all the cache-size sensitivity results)
+emerges from the real addresses these regions produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous, aligned span of physical addresses."""
+
+    name: str
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region {self.name} has size {self.size}")
+        if self.base < 0:
+            raise ValueError(f"region {self.name} has base {self.base}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte."""
+        return self.base + self.size
+
+    def addr(self, offset: int) -> int:
+        """Address at ``offset`` into the region (bounds-checked)."""
+        if not 0 <= offset < self.size:
+            raise ValueError(
+                f"offset {offset} outside region {self.name} "
+                f"(size {self.size})")
+        return self.base + offset
+
+    def wrap_addr(self, offset: int) -> int:
+        """Address at ``offset`` modulo the region size (for cycling pools)."""
+        return self.base + (offset % self.size)
+
+    def contains(self, addr: int) -> bool:
+        """Presence check (no LRU/counter side effects)."""
+        return self.base <= addr < self.end
+
+
+class AddressSpace:
+    """A simple bump allocator of aligned regions."""
+
+    def __init__(self, base: int = 0x1000_0000, alignment: int = 4096) -> None:
+        self._next = base
+        self.alignment = alignment
+        self._regions: Dict[str, Region] = {}
+
+    def allocate(self, name: str, size: int, alignment: int = 0) -> Region:
+        """Allocate a new named region.  Names must be unique."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        align = alignment or self.alignment
+        base = (self._next + align - 1) // align * align
+        region = Region(name=name, base=base, size=size)
+        self._next = region.end
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        """Look up an allocated region by name."""
+        return self._regions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions

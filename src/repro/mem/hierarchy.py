@@ -1,0 +1,192 @@
+"""The cache/DRAM hierarchy glue.
+
+Mirrors the simulated system in Table I: split L1I/L1D, a unified inclusive
+L2 (back-invalidates L1 on eviction), a *non-inclusive* LLC (an ARM-style
+system-level cache) with optional DCA way partitioning, and multi-channel
+DRAM behind it.
+
+Core accesses return a split cost: cache pipeline *cycles* (which scale with
+core frequency, as in gem5 where caches share the core clock domain) plus
+DRAM *nanoseconds* (which do not).  DMA accesses are accounted in
+nanoseconds only, since the NIC's DMA engine is not in the core clock
+domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mem.cache import (
+    CacheConfig,
+    CORE_PARTITION,
+    IO_PARTITION,
+    SetAssocCache,
+)
+from repro.mem.dram import DramConfig, DramModel
+
+LEVEL_L1 = "l1"
+LEVEL_L2 = "l2"
+LEVEL_LLC = "llc"
+LEVEL_DRAM = "dram"
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Cost of one core memory access."""
+
+    level: str          # which level serviced it
+    cycles: int         # cache pipeline cycles (core clock domain)
+    dram_ns: float      # DRAM portion, nanoseconds (zero for cache hits)
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Geometry of the whole hierarchy (Table I defaults)."""
+
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l1i", size=64 * 1024, assoc=4, latency_cycles=1, mshrs=2))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l1d", size=64 * 1024, assoc=4, latency_cycles=2, mshrs=6))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="l2", size=1024 * 1024, assoc=8, latency_cycles=12, mshrs=16))
+    llc: CacheConfig = field(default_factory=lambda: CacheConfig(
+        name="llc", size=4 * 1024 * 1024, assoc=16, latency_cycles=30,
+        mshrs=32, reserved_io_ways=4))
+    dram: DramConfig = field(default_factory=DramConfig)
+    llc_ns_for_dma: float = 8.0   # LLC access time seen by the DMA engine
+    # A demand load's DRAM trip includes the SoC fabric + memory-controller
+    # round trip on top of device timing; DMA bursts amortize this across
+    # whole packets and do not pay it per line.
+    core_dram_extra_ns: float = 45.0
+
+    @property
+    def dca_enabled(self) -> bool:
+        """DCA (cache stashing) is on when LLC ways are reserved for I/O."""
+        return self.llc.reserved_io_ways > 0
+
+
+class MemoryHierarchy:
+    """L1I/L1D -> inclusive L2 -> LLC (with DCA partition) -> DRAM."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+        self.config = config or HierarchyConfig()
+        cfg = self.config
+        self.l1i = SetAssocCache(cfg.l1i)
+        self.l1d = SetAssocCache(cfg.l1d)
+        self.l2 = SetAssocCache(cfg.l2)
+        self.llc = SetAssocCache(cfg.llc)
+        self.dram = DramModel(cfg.dram)
+        # DMA-side counters (the Fig 13 "DMA leak" evidence).
+        self.dma_lines_written = 0
+        self.dma_lines_read = 0
+        self.dma_llc_hits = 0       # TX reads served from LLC
+        self.dma_leaked_lines = 0   # io-partition lines evicted by later DMA
+
+    # ------------------------------------------------------------------
+    # Core-side accesses
+    # ------------------------------------------------------------------
+
+    def core_access(self, addr: int, now_ns: float = 0.0,
+                    is_instr: bool = False,
+                    is_write: bool = False) -> AccessResult:
+        """One core load/store/fetch of the line containing ``addr``."""
+        cfg = self.config
+        l1 = self.l1i if is_instr else self.l1d
+        if l1.lookup(addr):
+            return AccessResult(LEVEL_L1, l1.config.latency_cycles, 0.0)
+        cycles = l1.config.latency_cycles
+        if self.l2.lookup(addr):
+            cycles += cfg.l2.latency_cycles
+            self._fill_l1(l1, addr)
+            return AccessResult(LEVEL_L2, cycles, 0.0)
+        cycles += cfg.l2.latency_cycles
+        if self.llc.lookup(addr):
+            cycles += cfg.llc.latency_cycles
+            self._fill_l2(addr)
+            self._fill_l1(l1, addr)
+            return AccessResult(LEVEL_LLC, cycles, 0.0)
+        cycles += cfg.llc.latency_cycles
+        dram_ns = (self.dram.access(addr, now_ns, is_write=is_write)
+                   + cfg.core_dram_extra_ns)
+        self._fill_llc(addr)
+        self._fill_l2(addr)
+        self._fill_l1(l1, addr)
+        return AccessResult(LEVEL_DRAM, cycles, dram_ns)
+
+    # ------------------------------------------------------------------
+    # Fills with inclusion maintenance
+    # ------------------------------------------------------------------
+
+    def _fill_l1(self, l1: SetAssocCache, addr: int) -> None:
+        l1.insert(addr)
+
+    def _fill_l2(self, addr: int) -> None:
+        evicted = self.l2.insert(addr)
+        if evicted is not None:
+            # L2 is inclusive of both L1s (paper §VII.C): back-invalidate.
+            self.l1i.invalidate(evicted)
+            self.l1d.invalidate(evicted)
+
+    def _fill_llc(self, addr: int) -> None:
+        # The LLC is non-inclusive (as ARM system-level caches are): an
+        # LLC eviction does not invalidate inner copies, so a large L2 is
+        # useful even when it exceeds the LLC's core partition.
+        self.llc.insert(addr, partition=CORE_PARTITION)
+
+    # ------------------------------------------------------------------
+    # DMA-side accesses (NIC <-> memory)
+    # ------------------------------------------------------------------
+
+    def dma_write_line(self, addr: int, now_ns: float = 0.0) -> float:
+        """NIC writes one line of packet data toward memory.
+
+        With DCA the line is stashed into the LLC's io partition; the inner
+        caches' stale copies are invalidated.  Without DCA the line goes to
+        DRAM and every cached copy is invalidated.  Returns nanoseconds of
+        memory-side latency (the I/O bus cost is charged by the DMA engine).
+        """
+        self.dma_lines_written += 1
+        self.l1d.invalidate(addr)
+        self.l1i.invalidate(addr)
+        if self.config.dca_enabled:
+            self.l2.invalidate(addr)
+            evicted = self.llc.insert(addr, partition=IO_PARTITION)
+            if evicted is not None:
+                # An unconsumed DMA line fell out of the partition: the core
+                # will now have to fetch it from DRAM (a "DMA leak").
+                self.dma_leaked_lines += 1
+                # Writing the victim back consumes DRAM bandwidth.
+                self.dram.access(evicted, now_ns, is_write=True)
+            return self.config.llc_ns_for_dma
+        self.l2.invalidate(addr)
+        self.llc.invalidate(addr)
+        return self.dram.access(addr, now_ns, is_write=True)
+
+    def dma_read_line(self, addr: int, now_ns: float = 0.0) -> float:
+        """NIC reads one line of TX packet data from memory."""
+        self.dma_lines_read += 1
+        if self.llc.contains(addr):
+            self.dma_llc_hits += 1
+            # Refresh LRU so hot TX buffers stay resident.
+            self.llc.lookup(addr)
+            return self.config.llc_ns_for_dma
+        return self.dram.access(addr, now_ns, is_write=False)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def llc_miss_rate(self) -> float:
+        """Core-side LLC miss rate (Fig 13's right axis)."""
+        return self.llc.miss_rate
+
+    def reset_counters(self) -> None:
+        """Zero the measurement counters."""
+        for cache in (self.l1i, self.l1d, self.l2, self.llc):
+            cache.reset_counters()
+        self.dram.reset_counters()
+        self.dma_lines_written = 0
+        self.dma_lines_read = 0
+        self.dma_llc_hits = 0
+        self.dma_leaked_lines = 0

@@ -1,0 +1,44 @@
+"""Network packet substrate.
+
+Frames, protocol headers (Ethernet II, IPv4, UDP) and a PCAP file
+reader/writer.  EtherLoadGen's trace mode (paper §IV) replays standard PCAP
+files; its synthetic mode builds plain Ethernet frames — both come from here.
+"""
+
+from repro.net.packet import (
+    ETHER_HEADER_LEN,
+    ETHER_MIN_FRAME,
+    ETHER_MAX_FRAME,
+    ETHERTYPE_IPV4,
+    ETHERTYPE_EXPERIMENTAL,
+    MacAddress,
+    Packet,
+)
+from repro.net.headers import (
+    IPV4_HEADER_LEN,
+    UDP_HEADER_LEN,
+    Ipv4Header,
+    UdpHeader,
+    build_udp_frame,
+    parse_udp_frame,
+)
+from repro.net.pcap import PcapReader, PcapRecord, PcapWriter
+
+__all__ = [
+    "ETHER_HEADER_LEN",
+    "ETHER_MIN_FRAME",
+    "ETHER_MAX_FRAME",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_EXPERIMENTAL",
+    "MacAddress",
+    "Packet",
+    "IPV4_HEADER_LEN",
+    "UDP_HEADER_LEN",
+    "Ipv4Header",
+    "UdpHeader",
+    "build_udp_frame",
+    "parse_udp_frame",
+    "PcapReader",
+    "PcapRecord",
+    "PcapWriter",
+]

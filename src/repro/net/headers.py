@@ -1,0 +1,150 @@
+"""IPv4 and UDP header encoding.
+
+The memcached workloads encapsulate payloads in "a Memcached UDP header, a
+request header containing metadata, and an Ethernet II frame header"
+(paper §VI.A).  These helpers provide the IPv4/UDP layers of that stack with
+real, checksummed on-wire encodings so pcap traces written by the tooling
+are valid captures.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.packet import (
+    ETHER_CRC_LEN,
+    ETHER_HEADER_LEN,
+    ETHERTYPE_IPV4,
+    MacAddress,
+    Packet,
+)
+
+IPV4_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+
+
+def _ones_complement_sum(data: bytes) -> int:
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack(">H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 Internet checksum."""
+    return (~_ones_complement_sum(data)) & 0xFFFF
+
+
+@dataclass
+class Ipv4Header:
+    """A minimal (option-less) IPv4 header."""
+
+    src_ip: int
+    dst_ip: int
+    total_length: int
+    protocol: int = 17          # UDP
+    ttl: int = 64
+    identification: int = 0
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the on-wire byte encoding."""
+        version_ihl = (4 << 4) | 5
+        header = struct.pack(
+            ">BBHHHBBH4s4s",
+            version_ihl, 0, self.total_length, self.identification,
+            0, self.ttl, self.protocol, 0,
+            self.src_ip.to_bytes(4, "big"), self.dst_ip.to_bytes(4, "big"),
+        )
+        checksum = internet_checksum(header)
+        return header[:10] + struct.pack(">H", checksum) + header[12:]
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Ipv4Header":
+        """Parse from the on-wire byte encoding."""
+        if len(raw) < IPV4_HEADER_LEN:
+            raise ValueError(f"truncated IPv4 header: {len(raw)}B")
+        (version_ihl, _tos, total_length, identification, _frag, ttl,
+         protocol, checksum, src, dst) = struct.unpack(
+            ">BBHHHBBH4s4s", raw[:IPV4_HEADER_LEN])
+        if version_ihl >> 4 != 4:
+            raise ValueError("not an IPv4 header")
+        if internet_checksum(raw[:IPV4_HEADER_LEN]) != 0:
+            raise ValueError("IPv4 header checksum mismatch")
+        return cls(
+            src_ip=int.from_bytes(src, "big"),
+            dst_ip=int.from_bytes(dst, "big"),
+            total_length=total_length,
+            protocol=protocol,
+            ttl=ttl,
+            identification=identification,
+        )
+
+
+@dataclass
+class UdpHeader:
+    """A UDP header; checksum 0 (not computed) as permitted for IPv4 UDP."""
+
+    src_port: int
+    dst_port: int
+    length: int
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the on-wire byte encoding."""
+        return struct.pack(">HHHH", self.src_port, self.dst_port,
+                           self.length, 0)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "UdpHeader":
+        """Parse from the on-wire byte encoding."""
+        if len(raw) < UDP_HEADER_LEN:
+            raise ValueError(f"truncated UDP header: {len(raw)}B")
+        src_port, dst_port, length, _checksum = struct.unpack(
+            ">HHHH", raw[:UDP_HEADER_LEN])
+        return cls(src_port=src_port, dst_port=dst_port, length=length)
+
+
+def build_udp_frame(
+    src_mac: MacAddress,
+    dst_mac: MacAddress,
+    src_ip: int,
+    dst_ip: int,
+    src_port: int,
+    dst_port: int,
+    payload: bytes,
+    identification: int = 0,
+) -> Packet:
+    """Assemble Ethernet/IPv4/UDP around ``payload``."""
+    udp = UdpHeader(src_port, dst_port, UDP_HEADER_LEN + len(payload))
+    ip = Ipv4Header(
+        src_ip=src_ip, dst_ip=dst_ip,
+        total_length=IPV4_HEADER_LEN + UDP_HEADER_LEN + len(payload),
+        identification=identification,
+    )
+    data = ip.to_bytes() + udp.to_bytes() + payload
+    wire_len = ETHER_HEADER_LEN + len(data) + ETHER_CRC_LEN
+    wire_len = max(wire_len, 64)
+    return Packet(wire_len=min(wire_len, 1518), dst=dst_mac, src=src_mac,
+                  ethertype=ETHERTYPE_IPV4, data=data)
+
+
+def parse_udp_frame(packet: Packet):
+    """Split a UDP-over-IPv4 packet into (Ipv4Header, UdpHeader, payload).
+
+    Raises ValueError if the packet does not carry parsable UDP/IPv4 data.
+    """
+    if packet.ethertype != ETHERTYPE_IPV4:
+        raise ValueError(f"not IPv4: ethertype {packet.ethertype:#x}")
+    if packet.data is None:
+        raise ValueError("packet carries no byte payload")
+    ip = Ipv4Header.from_bytes(packet.data)
+    if ip.protocol != 17:
+        raise ValueError(f"not UDP: protocol {ip.protocol}")
+    rest = packet.data[IPV4_HEADER_LEN:]
+    udp = UdpHeader.from_bytes(rest)
+    # The UDP length field counts the 8-byte header plus payload.
+    payload = rest[UDP_HEADER_LEN:udp.length]
+    return ip, udp, payload

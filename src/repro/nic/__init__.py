@@ -1,0 +1,37 @@
+"""NIC hardware model.
+
+An i8254x-style NIC (the Intel 8254x series gem5's IGbE model loosely
+follows) extended exactly as the paper describes (§III.A.3-5):
+
+- a descriptor cache with a *configurable writeback threshold* so a polling
+  mode driver is not forced into 32-64 packet DMA batches;
+- an implemented Interrupt Mask Register (IMS/IMC/IMR semantics);
+- correct operation with both an interrupt-driven kernel driver and a
+  userspace polling driver.
+
+Packet-drop causes are classified by the Fig 4 finite-state machine into
+DmaDrop / CoreDrop / TxDrop.
+"""
+
+from repro.nic.drop_fsm import DropCause, DropClassifier
+from repro.nic.fifo import PacketByteFifo
+from repro.nic.descriptors import DescriptorRing, RxRing, TxRing
+from repro.nic.dma import DmaConfig, DmaEngine
+from repro.nic.phy import EtherLink, EtherPort
+from repro.nic.i8254x import I8254xNic, NicConfig, NicQuirks
+
+__all__ = [
+    "DropCause",
+    "DropClassifier",
+    "PacketByteFifo",
+    "DescriptorRing",
+    "RxRing",
+    "TxRing",
+    "DmaConfig",
+    "DmaEngine",
+    "EtherLink",
+    "EtherPort",
+    "I8254xNic",
+    "NicConfig",
+    "NicQuirks",
+]

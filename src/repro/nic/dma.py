@@ -1,0 +1,155 @@
+"""The NIC's DMA engine.
+
+Moves packet bytes between the NIC FIFOs and host memory over the I/O bus
+(the link "that loosely models a PCIe bus between the NIC and CPU",
+§VII.B).  The bus is full-duplex: inbound (RX writes, descriptor
+writebacks) and outbound (TX reads) directions have independent bandwidth,
+as PCIe lanes do.  Each transfer occupies its direction for a fixed
+per-packet setup plus the larger of the bus serialization time and the
+memory-side time (line writes into the LLC with DCA, or DRAM without);
+the bus's fixed propagation latency delays *completion* but does not
+serialize the engine — transfers pipeline behind one another.
+
+This engine is the component the paper identifies as gem5's large-packet
+bottleneck: "at large packet sizes, gem5's DMA engine is the bottleneck"
+(§I), and it is where the DmaDrop cause originates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.kernels import LINE_SIZE, lines_covering
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.xbar import BandwidthServer
+from repro.sim.ticks import TICKS_PER_NS
+
+
+@dataclass(frozen=True)
+class DmaConfig:
+    """DMA engine parameters."""
+
+    setup_ns: float = 15.0        # per-packet descriptor/doorbell handling
+    mem_parallelism: int = 4      # outstanding line transactions
+    desc_bytes: int = 16          # descriptor size moved per packet
+
+    def __post_init__(self) -> None:
+        if self.setup_ns < 0:
+            raise ValueError("setup time cannot be negative")
+        if self.mem_parallelism < 1:
+            raise ValueError("memory parallelism must be >= 1")
+
+
+class DmaEngine:
+    """Pipelined, full-duplex packet DMA."""
+
+    def __init__(self, config: DmaConfig, iobus_rx: BandwidthServer,
+                 hierarchy: MemoryHierarchy,
+                 iobus_tx: BandwidthServer = None) -> None:
+        self.config = config
+        self.iobus_rx = iobus_rx
+        self.iobus_tx = iobus_tx if iobus_tx is not None else BandwidthServer(
+            f"{iobus_rx.name}.tx", iobus_rx.bytes_per_sec,
+            iobus_rx.latency_ticks)
+        self.hierarchy = hierarchy
+        self._rx_busy_until = 0
+        self._tx_busy_until = 0
+        self.packets_written = 0
+        self.packets_read = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def busy_until(self) -> int:
+        """When the engine could accept new work in *either* direction."""
+        return min(self._rx_busy_until, self._tx_busy_until)
+
+    @property
+    def rx_busy_until(self) -> int:
+        """Tick the inbound DMA direction frees up."""
+        return self._rx_busy_until
+
+    @property
+    def tx_busy_until(self) -> int:
+        """Tick the outbound DMA direction frees up."""
+        return self._tx_busy_until
+
+    def _memory_ns(self, base_addr: int, nbytes: int, write: bool,
+                   now_ns: float) -> float:
+        """Aggregate memory-side time for the packet's lines, overlapped up
+        to ``mem_parallelism`` outstanding transactions."""
+        total = 0.0
+        if write:
+            for line in lines_covering(base_addr, nbytes):
+                total += self.hierarchy.dma_write_line(line, now_ns)
+        else:
+            for line in lines_covering(base_addr, nbytes):
+                total += self.hierarchy.dma_read_line(line, now_ns)
+        return total / self.config.mem_parallelism
+
+    def write_packet(self, now: int, buffer_addr: int, nbytes: int) -> int:
+        """DMA a received packet into host memory; returns the completion
+        tick (data visible to the CPU).  The inbound direction is occupied
+        for the serialization time only; propagation latency pipelines."""
+        start = max(now, self._rx_busy_until)
+        now_ns = start / TICKS_PER_NS
+        bus_bytes = nbytes + self.config.desc_bytes
+        busy_ticks = self.iobus_rx.occupancy_ticks(bus_bytes)
+        self.iobus_rx.bytes_moved += bus_bytes
+        self.iobus_rx.transfers += 1
+        mem_ns = self._memory_ns(buffer_addr, nbytes, True, now_ns)
+        occupancy_ns = self.config.setup_ns + max(
+            busy_ticks / TICKS_PER_NS, mem_ns)
+        self._rx_busy_until = start + round(occupancy_ns * TICKS_PER_NS)
+        self.packets_written += 1
+        self.bytes_written += nbytes
+        return self._rx_busy_until + self.iobus_rx.latency_ticks
+
+    def read_packet(self, now: int, buffer_addr: int, nbytes: int) -> int:
+        """DMA a transmit packet out of host memory; returns the tick the
+        frame is ready in the NIC TX FIFO."""
+        start = max(now, self._tx_busy_until)
+        now_ns = start / TICKS_PER_NS
+        bus_bytes = nbytes + self.config.desc_bytes
+        busy_ticks = self.iobus_tx.occupancy_ticks(bus_bytes)
+        self.iobus_tx.bytes_moved += bus_bytes
+        self.iobus_tx.transfers += 1
+        mem_ns = self._memory_ns(buffer_addr, nbytes, False, now_ns)
+        occupancy_ns = self.config.setup_ns + max(
+            busy_ticks / TICKS_PER_NS, mem_ns)
+        self._tx_busy_until = start + round(occupancy_ns * TICKS_PER_NS)
+        self.packets_read += 1
+        self.bytes_read += nbytes
+        return self._tx_busy_until + self.iobus_tx.latency_ticks
+
+    def writeback_descriptors(self, now: int, count: int,
+                              desc_addrs=()) -> int:
+        """DMA a descriptor-cache writeback batch; returns finish tick.
+
+        ``desc_addrs`` are the descriptors' memory addresses so their lines
+        land in the hierarchy like any other inbound DMA (the driver's next
+        poll reads them).
+        """
+        if count <= 0:
+            return max(now, self._rx_busy_until)
+        start = max(now, self._rx_busy_until)
+        now_ns = start / TICKS_PER_NS
+        lines_seen = set()
+        for addr in desc_addrs:
+            line = addr - (addr % LINE_SIZE)
+            if line not in lines_seen:
+                lines_seen.add(line)
+                self.hierarchy.dma_write_line(line, now_ns)
+        nbytes = count * self.config.desc_bytes
+        busy_ticks = self.iobus_rx.occupancy_ticks(nbytes)
+        self.iobus_rx.bytes_moved += nbytes
+        self.iobus_rx.transfers += 1
+        self._rx_busy_until = start + busy_ticks
+        return self._rx_busy_until + self.iobus_rx.latency_ticks
+
+    def reset_counters(self) -> None:
+        """Zero the measurement counters."""
+        self.packets_written = 0
+        self.packets_read = 0
+        self.bytes_written = 0
+        self.bytes_read = 0

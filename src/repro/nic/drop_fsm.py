@@ -1,0 +1,86 @@
+"""The packet-drop classification FSM (paper Fig 4).
+
+Each state is a three-bit tuple ``(rx_fifo_full, rx_ring_full,
+tx_ring_full)``.  Transitions happen at every packet reception.  The gray
+(dropping) states attribute the drop:
+
+- RX FIFO full while both rings have space        -> **DmaDrop** — the DMA
+  engine cannot replenish the descriptor cache / drain the FIFO fast enough;
+- RX FIFO full and RX ring full (TX ring not)     -> **CoreDrop** — the core
+  is too slow to drain the RX ring, which halted the DMA engine;
+- RX FIFO full and both rings full                -> **TxDrop** — TX DMA
+  reads cannot keep up, stalling the core, which backs up the RX ring.
+
+When the FIFO is no longer full, the next reception transitions back to the
+proper intermediate state.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+State = Tuple[bool, bool, bool]
+
+
+class DropCause(enum.Enum):
+    """Why a packet was dropped at the NIC."""
+
+    DMA = "DmaDrop"
+    CORE = "CoreDrop"
+    TX = "TxDrop"
+
+
+class DropClassifier:
+    """Tracks the Fig 4 FSM and the three drop counters."""
+
+    def __init__(self) -> None:
+        self.state: State = (False, False, False)
+        self.counts: Dict[DropCause, int] = {cause: 0 for cause in DropCause}
+        self.transitions = 0
+
+    def on_packet_rx(self, rx_fifo_full: bool, rx_ring_full: bool,
+                     tx_ring_full: bool, dropped: bool) -> State:
+        """Advance the FSM at a packet reception.
+
+        ``dropped`` is whether this packet was actually dropped (the FIFO
+        had no room for it).  Returns the new state.
+        """
+        new_state: State = (rx_fifo_full, rx_ring_full, tx_ring_full)
+        self.transitions += 1
+        if dropped:
+            cause = self.classify(new_state)
+            self.counts[cause] += 1
+        self.state = new_state
+        return new_state
+
+    @staticmethod
+    def classify(state: State) -> DropCause:
+        """Map a dropping (gray) state to its cause per Fig 4."""
+        rx_fifo_full, rx_ring_full, tx_ring_full = state
+        if not rx_fifo_full:
+            raise ValueError(
+                "only states with a full RX FIFO drop packets")
+        if rx_ring_full and tx_ring_full:      # state 1,1,1
+            return DropCause.TX
+        if rx_ring_full:                       # state 1,1,0
+            return DropCause.CORE
+        return DropCause.DMA                   # state 1,0,x
+
+    @property
+    def total_drops(self) -> int:
+        """Sum of all classified drops."""
+        return sum(self.counts.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fractional drop breakdown, as plotted in Fig 5."""
+        total = self.total_drops
+        if total == 0:
+            return {cause.value: 0.0 for cause in DropCause}
+        return {cause.value: self.counts[cause] / total
+                for cause in DropCause}
+
+    def reset(self) -> None:
+        """Reset to the initial (empty) state."""
+        self.counts = {cause: 0 for cause in DropCause}
+        self.transitions = 0

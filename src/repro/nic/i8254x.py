@@ -1,0 +1,381 @@
+"""The i8254x-style NIC device model.
+
+gem5's NIC "loosely models the Intel 8254x NIC series" (§II.B); this is the
+equivalent model with the paper's extensions applied:
+
+- configurable descriptor-cache writeback threshold (§III.A.3),
+- implemented Interrupt Mask Register read/write (§III.A.5, IMS/IMC),
+- PCI quirks handled by the :mod:`repro.pci` layer (§III.A.1-2).
+
+:class:`NicQuirks` can re-introduce each baseline limitation so tests can
+demonstrate the before/after behaviour: an unimplemented IMR prevents a
+poll-mode driver from launching, and the broken PMD writeback threshold
+degenerates to full-descriptor-cache batching.
+
+The RX data path follows the paper's Fig 3 life cycle; drop causes are
+classified by the Fig 4 FSM at every packet reception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.mem.address import AddressSpace
+from repro.nic.descriptors import RxRing, TxRing
+from repro.nic.dma import DmaConfig, DmaEngine
+from repro.nic.drop_fsm import DropCause, DropClassifier
+from repro.nic.fifo import PacketByteFifo
+from repro.nic.phy import EtherPort
+from repro.net.packet import Packet
+from repro.pci.config_space import PciQuirks
+from repro.pci.device import PciDevice
+from repro.sim.simobject import SimObject, Simulation
+from repro.sim.ticks import us_to_ticks
+
+INTEL_VENDOR_ID = 0x8086
+E1000_DEVICE_ID = 0x100E
+
+# Register offsets (subset of the 8254x map).
+REG_CTRL = 0x0000
+REG_STATUS = 0x0008
+REG_ICR = 0x00C0    # interrupt cause read (read-clears)
+REG_ITR = 0x00C4    # interrupt throttling
+REG_IMS = 0x00D0    # interrupt mask set/read
+REG_IMC = 0x00D8    # interrupt mask clear
+REG_RDT = 0x2818    # RX descriptor tail
+REG_TDT = 0x3818    # TX descriptor tail
+
+ICR_RXT0 = 1 << 7   # receiver timer / RX descriptor written back
+ICR_TXDW = 1 << 0   # transmit descriptor written back
+
+
+@dataclass(frozen=True)
+class NicQuirks:
+    """Baseline-gem5 NIC limitations, individually re-enablable."""
+
+    imr_implemented: bool = True
+    # When False, a PMD cannot program the writeback threshold and the NIC
+    # only writes back once the whole descriptor cache is used.
+    pmd_writeback_threshold_works: bool = True
+
+    @classmethod
+    def baseline_gem5(cls) -> "NicQuirks":
+        """The mainline-gem5 behaviour, before the paper's fixes."""
+        return cls(imr_implemented=False,
+                   pmd_writeback_threshold_works=False)
+
+
+@dataclass(frozen=True)
+class NicConfig:
+    """NIC geometry and timing."""
+
+    rx_fifo_bytes: int = 48 * 1024
+    tx_fifo_bytes: int = 48 * 1024
+    # e1000-class default ring sizes (256 descriptors); Fig 13 overrides
+    # the RX ring to 4096 explicitly.
+    rx_ring_size: int = 256
+    tx_ring_size: int = 256
+    writeback_threshold: int = 8
+    desc_cache_size: int = 64
+    # Descriptor writeback timer (the 8254x RDTR mechanism): a partially
+    # filled descriptor cache is flushed after this delay so low-rate
+    # traffic is not held hostage to the batch threshold.
+    writeback_timer_us: float = 2.0
+    # Interrupt throttling (the 8254x ITR register): minimum spacing
+    # between posted interrupts; causes raised inside the window coalesce
+    # into one delivery at its end.  0 disables throttling.
+    itr_us: float = 0.0
+    dma: DmaConfig = field(default_factory=DmaConfig)
+    quirks: NicQuirks = field(default_factory=NicQuirks)
+
+
+class I8254xNic(SimObject, PciDevice):
+    """The NIC simulation object.
+
+    The owning node wires up ``rx_buffer_source`` (returns the host buffer
+    address for the next received packet — the driver's posted buffer) and
+    optionally ``rx_notify`` (called on descriptor writeback, used by the
+    interrupt-driven kernel driver; a PMD polls the ring instead).
+    """
+
+    def __init__(self, sim: Simulation, name: str, config: NicConfig,
+                 dma_engine: DmaEngine, address_space: AddressSpace,
+                 pci_quirks: PciQuirks = PciQuirks()) -> None:
+        SimObject.__init__(self, sim, name)
+        PciDevice.__init__(self, INTEL_VENDOR_ID, E1000_DEVICE_ID, pci_quirks)
+        self.nic_config = config
+        self.dma = dma_engine
+        self.rx_fifo = PacketByteFifo(config.rx_fifo_bytes)
+        self.tx_fifo = PacketByteFifo(config.tx_fifo_bytes)
+        rx_region = address_space.allocate(
+            f"{name}.rx_ring", config.rx_ring_size * 16)
+        tx_region = address_space.allocate(
+            f"{name}.tx_ring", config.tx_ring_size * 16)
+        self.rx_ring = RxRing(config.rx_ring_size, rx_region,
+                              writeback_threshold=config.writeback_threshold,
+                              desc_cache_size=config.desc_cache_size)
+        # Set by a PMD attaching to a NIC with the baseline-gem5 quirk:
+        # "the threshold registers ... are not properly set, and thus the
+        # NIC starts writing back the descriptors when all of them are
+        # used" (§III.A.3).
+        self._wb_timer_disabled = False
+        self.tx_ring = TxRing(config.tx_ring_size, tx_region)
+        self.drop_fsm = DropClassifier()
+        self.port = EtherPort(f"{name}.port", self._on_wire_rx)
+
+        # Driver hooks.
+        self.rx_buffer_source: Optional[Callable[[Packet], int]] = None
+        self.rx_notify: Optional[Callable[[int], None]] = None
+        self.tx_complete_notify: Optional[Callable[[Packet], None]] = None
+
+        # Interrupt state.
+        self._ims = 0
+        self._icr = 0
+
+        # DMA service state: RX and TX directions are independent (the
+        # underlying engine models a full-duplex I/O bus).
+        self._rx_service_event = self.make_event(self._rx_service,
+                                                 "rx_dma_service")
+        self._tx_service_event = self.make_event(self._tx_service,
+                                                 "tx_dma_service")
+        self._wb_timer_event = self.make_event(self._wb_timer_fired,
+                                               "wb_timer")
+        # Interrupt throttling (ITR) state.
+        self._itr_ticks = us_to_ticks(config.itr_us) if config.itr_us else 0
+        self._itr_event = self.make_event(self._itr_window_closed, "itr")
+        self._itr_pending = 0
+        self._last_notify_tick = -(1 << 62)
+
+        # Statistics.
+        self.stat_rx_packets = self.stats.counter("rxPackets")
+        self.stat_rx_bytes = self.stats.counter("rxBytes")
+        self.stat_tx_packets = self.stats.counter("txPackets")
+        self.stat_tx_bytes = self.stats.counter("txBytes")
+        self.stat_rx_drops = self.stats.counter("rxDrops")
+        self.stat_dma_drops = self.stats.counter("dmaDrops")
+        self.stat_core_drops = self.stats.counter("coreDrops")
+        self.stat_tx_drops = self.stats.counter("txDrops")
+        self.stat_wire_rx = self.stats.counter("wireRxPackets")
+        self.stat_buffer_starved = self.stats.counter(
+            "rxBufferStarved", "RX DMA stalls for lack of posted buffers")
+
+    # ------------------------------------------------------------------
+    # Register file (MMIO)
+    # ------------------------------------------------------------------
+
+    def read_reg(self, offset: int) -> int:
+        """Read a device register (MMIO)."""
+        if offset in (REG_IMS, REG_IMC):
+            if not self.nic_config.quirks.imr_implemented:
+                # Baseline gem5: the register exists but its read method is
+                # not implemented — reads return 0 (§III.A.5).
+                return 0
+            return self._ims
+        if offset == REG_ICR:
+            value = self._icr
+            self._icr = 0   # read-to-clear
+            return value
+        if offset == REG_STATUS:
+            return 0x2      # link up
+        return 0
+
+    def write_reg(self, offset: int, value: int) -> None:
+        """Write a device register (MMIO)."""
+        if offset == REG_IMS:
+            if self.nic_config.quirks.imr_implemented:
+                self._ims |= value
+            return
+        if offset == REG_IMC:
+            if self.nic_config.quirks.imr_implemented:
+                self._ims &= ~value
+            return
+        if offset in (REG_RDT, REG_TDT, REG_CTRL, REG_ITR):
+            return  # doorbells modelled through the ring objects directly
+        raise ValueError(f"write to unmodelled register {offset:#x}")
+
+    def device_interrupts_masked(self) -> bool:
+        """Device-level interrupt mask state (IMS empty)."""
+        return self._ims == 0
+
+    def interrupt_mask_operational(self) -> bool:
+        """Can a driver actually program the mask?  (The PMD launch check.)"""
+        probe = ICR_RXT0 | ICR_TXDW
+        before = self._ims
+        self.write_reg(REG_IMS, probe)
+        works = (self.read_reg(REG_IMS) & probe) == probe
+        self.write_reg(REG_IMC, probe)
+        if self.nic_config.quirks.imr_implemented:
+            self._ims = before
+        return works
+
+    # ------------------------------------------------------------------
+    # Wire RX (Fig 3 step 1 + Fig 4 FSM)
+    # ------------------------------------------------------------------
+
+    def _on_wire_rx(self, packet: Packet) -> None:
+        self.stat_wire_rx.inc()
+        accepted = self.rx_fifo.try_enqueue(packet)
+        self.drop_fsm.on_packet_rx(
+            rx_fifo_full=not accepted or self.rx_fifo.full_for_min_frame,
+            rx_ring_full=self.rx_ring.full,
+            tx_ring_full=self.tx_ring.full,
+            dropped=not accepted,
+        )
+        if not accepted:
+            self.stat_rx_drops.inc()
+            counts = self.drop_fsm.counts
+            self.stat_dma_drops.value = counts[DropCause.DMA]
+            self.stat_core_drops.value = counts[DropCause.CORE]
+            self.stat_tx_drops.value = counts[DropCause.TX]
+            return
+        self._kick_service()
+
+    # ------------------------------------------------------------------
+    # DMA service loop (Fig 3 steps 2-4)
+    # ------------------------------------------------------------------
+
+    def _kick_service(self) -> None:
+        self._kick_rx()
+        self._kick_tx()
+
+    def _kick_rx(self) -> None:
+        if self._rx_service_event.scheduled or not self._rx_work_ready():
+            return
+        when = max(self.now, self.dma.rx_busy_until)
+        self.schedule(self._rx_service_event, when)
+
+    def _kick_tx(self) -> None:
+        if self._tx_service_event.scheduled or not self._tx_work_ready():
+            return
+        when = max(self.now, self.dma.tx_busy_until)
+        self.schedule(self._tx_service_event, when)
+
+    def _rx_work_ready(self) -> bool:
+        return (len(self.rx_fifo) > 0
+                and not self.rx_ring.full
+                and self.rx_buffer_source is not None)
+
+    def _tx_work_ready(self) -> bool:
+        return self.tx_ring.occupancy > 0 and self.tx_fifo.free_bytes >= 1518
+
+    def _rx_service(self) -> None:
+        """DMA one received packet from the RX FIFO into host memory."""
+        if not self._rx_work_ready():
+            return
+        now = self.now
+        packet = self.rx_fifo.dequeue()
+        buffer_addr = self.rx_buffer_source(packet)
+        if buffer_addr is None:
+            # Buffer starvation: the driver has no packet buffer to post.
+            # The frame stays at the head of the FIFO; service resumes
+            # when buffers return (rx_replenish kicks us).
+            self.rx_fifo.requeue_front(packet)
+            self.stat_buffer_starved.inc()
+            return
+        self.rx_ring.fill(buffer_addr, packet)
+        finish = self.dma.write_packet(now, buffer_addr, packet.wire_len)
+        self.stat_rx_packets.inc()
+        self.stat_rx_bytes.inc(packet.wire_len)
+        # Writeback decision is evaluated once the data DMA lands.
+        self.sim.events.call_at(finish, self._after_rx_dma,
+                                name=f"{self.name}.rx_dma_done")
+        self._kick_rx()
+
+    def _after_rx_dma(self) -> None:
+        if self.rx_ring.writeback_due:
+            self._do_writeback(self.now)
+        elif (self.rx_ring.pending_writeback_count
+                and not self._wb_timer_disabled
+                and not self._wb_timer_event.scheduled):
+            self.schedule_after(
+                self._wb_timer_event,
+                us_to_ticks(self.nic_config.writeback_timer_us))
+        self._kick_rx()
+
+    def _wb_timer_fired(self) -> None:
+        if self.rx_ring.pending_writeback_count:
+            self._do_writeback(self.now)
+
+    def _do_writeback(self, now: int) -> None:
+        batch = self.rx_ring.writeback()
+        if not batch:
+            return
+        desc_addrs = [self.rx_ring.desc_addr(desc.index) for desc in batch]
+        finish = self.dma.writeback_descriptors(now, len(batch), desc_addrs)
+        if self.rx_notify is not None:
+            count = len(batch)
+            self.sim.events.call_at(
+                finish, lambda c=count: self._notify_rx(c),
+                name=f"{self.name}.rx_writeback")
+
+    def _notify_rx(self, count: int) -> None:
+        if self._itr_ticks:
+            # ITR: coalesce causes raised inside the throttling window.
+            if self.now - self._last_notify_tick < self._itr_ticks:
+                self._itr_pending += count
+                if not self._itr_event.scheduled:
+                    self.schedule(
+                        self._itr_event,
+                        self._last_notify_tick + self._itr_ticks)
+                return
+        self._deliver_rx_notify(count)
+
+    def _itr_window_closed(self) -> None:
+        pending, self._itr_pending = self._itr_pending, 0
+        if pending:
+            self._deliver_rx_notify(pending)
+
+    def _deliver_rx_notify(self, count: int) -> None:
+        self._last_notify_tick = self.now
+        self._icr |= ICR_RXT0
+        if self._ims & ICR_RXT0:
+            self.post_interrupt()
+        if self.rx_notify is not None:
+            self.rx_notify(count)
+
+    def _tx_service(self) -> None:
+        """DMA one transmit packet out of the TX ring toward the wire."""
+        if not self._tx_work_ready():
+            return
+        now = self.now
+        buffer_addr, packet = self.tx_ring.consume()
+        finish = self.dma.read_packet(now, buffer_addr, packet.wire_len)
+        self.sim.events.call_at(
+            finish, lambda p=packet: self._after_tx_dma(p),
+            name=f"{self.name}.tx_dma_done")
+        self._kick_tx()
+
+    def _after_tx_dma(self, packet: Packet) -> None:
+        if self.tx_fifo.try_enqueue(packet):
+            # Drain immediately onto the wire; the link serializes.
+            self.tx_fifo.dequeue()
+            self.port.send(packet)
+            self.stat_tx_packets.inc()
+            self.stat_tx_bytes.inc(packet.wire_len)
+            if self.tx_complete_notify is not None:
+                self.tx_complete_notify(packet)
+        self._kick_tx()
+
+    # ------------------------------------------------------------------
+    # Driver-side doorbells
+    # ------------------------------------------------------------------
+
+    def tx_enqueue(self, buffer_addr: int, packet: Packet) -> bool:
+        """Driver posts one packet; kicks the DMA engine (TDT doorbell)."""
+        ok = self.tx_ring.enqueue(buffer_addr, packet)
+        if ok:
+            self._kick_service()
+        return ok
+
+    def rx_replenish(self, count: int = 1) -> None:
+        """Driver returns buffers to the NIC (RDT doorbell)."""
+        self.rx_ring.replenish(count)
+        if self._rx_work_ready():
+            self._kick_service()
+
+    def on_stats_reset(self) -> None:
+        """Clear measurement counters after a stats reset."""
+        self.drop_fsm.reset()
+        self.rx_fifo.rejected = 0
+        self.stat_wire_rx.reset()

@@ -1,0 +1,93 @@
+"""Ethernet ports and links.
+
+An :class:`EtherLink` is the direct cable between two :class:`EtherPort`
+endpoints (Test Node NIC on one side, EtherLoadGen or a Drive Node NIC on
+the other — Fig 1).  The link serializes frames at line rate and delivers
+them after the configured propagation latency (Table I: 100Gbps, 200us).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.sim.simobject import SimObject, Simulation
+
+
+class EtherPort:
+    """One end of a link: owned by a device that can receive frames."""
+
+    def __init__(self, name: str, on_receive: Callable[[Packet], None]) -> None:
+        self.name = name
+        self.on_receive = on_receive
+        self.link: Optional["EtherLink"] = None
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def send(self, packet: Packet) -> None:
+        """Transmit toward the peer port."""
+        if self.link is None:
+            raise RuntimeError(f"port {self.name} is not connected")
+        self.frames_sent += 1
+        self.link.transmit(self, packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Hand a received frame to the owning device."""
+        self.frames_received += 1
+        self.on_receive(packet)
+
+
+class EtherLink(SimObject):
+    """Full-duplex point-to-point Ethernet cable."""
+
+    def __init__(self, sim: Simulation, name: str,
+                 bandwidth_bits_per_sec: float = 100e9,
+                 delay_ticks: int = 0) -> None:
+        super().__init__(sim, name)
+        if bandwidth_bits_per_sec <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if delay_ticks < 0:
+            raise ValueError("link delay cannot be negative")
+        self.bandwidth_bits_per_sec = bandwidth_bits_per_sec
+        self.delay_ticks = delay_ticks
+        self._port_a: Optional[EtherPort] = None
+        self._port_b: Optional[EtherPort] = None
+        # Independent serialization horizon per direction (full duplex).
+        self._tx_free_at = {"a": 0, "b": 0}
+        self.stat_frames = self.stats.counter("frames", "frames carried")
+        self.stat_bytes = self.stats.counter("bytes", "bytes carried")
+
+    def connect(self, port_a: EtherPort, port_b: EtherPort) -> None:
+        """Attach the two endpoint ports to this link."""
+        if self._port_a is not None or self._port_b is not None:
+            raise RuntimeError(f"{self.name} is already connected")
+        self._port_a, self._port_b = port_a, port_b
+        port_a.link = self
+        port_b.link = self
+
+    def serialization_ticks(self, packet: Packet) -> int:
+        # Wire bits include 8B preamble + 12B inter-frame gap.
+        """Wire time of one frame at line rate."""
+        wire_bits = (packet.wire_len + 20) * 8
+        return round(wire_bits * 1e12 / self.bandwidth_bits_per_sec)
+
+    def transmit(self, src_port: EtherPort, packet: Packet) -> None:
+        """Serialize the frame at line rate, then deliver after the
+        propagation delay."""
+        if src_port is self._port_a:
+            direction, dst = "a", self._port_b
+        elif src_port is self._port_b:
+            direction, dst = "b", self._port_a
+        else:
+            raise ValueError(f"{src_port.name} is not attached to {self.name}")
+        if dst is None:
+            raise RuntimeError(f"{self.name} has a dangling end")
+        start = max(self.now, self._tx_free_at[direction])
+        finish = start + self.serialization_ticks(packet)
+        self._tx_free_at[direction] = finish
+        self.stat_frames.inc()
+        self.stat_bytes.inc(packet.wire_len)
+        deliver_at = finish + self.delay_ticks
+        self.sim.events.call_at(
+            deliver_at, lambda p=packet, d=dst: d.deliver(p),
+            name=f"{self.name}.deliver")

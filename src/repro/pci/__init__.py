@@ -1,0 +1,39 @@
+"""PCI subsystem.
+
+Implements the two gem5 PCI-model gaps the paper closes (§III.A.1-2):
+
+1. the Command Register's bit-10 *interrupt disable* bit, which the Linux
+   kernel must be able to set for ``uio_pci_generic`` to bind a device, and
+2. byte-granular (8-bit) accesses to the Command Register, which DPDK uses
+   to read/write the register's upper half at config-space offset 0x05.
+
+Both fixes are individually toggleable (``PciQuirks``) so the baseline
+gem5 failure modes can be reproduced and tested against.
+"""
+
+from repro.pci.config_space import (
+    COMMAND_OFFSET,
+    CMD_BUS_MASTER,
+    CMD_INTX_DISABLE,
+    CMD_IO_SPACE,
+    CMD_MEM_SPACE,
+    PciConfigSpace,
+    PciQuirks,
+)
+from repro.pci.device import PciDevice
+from repro.pci.bus import PciBus
+from repro.pci.uio import UioBindError, UioPciGeneric
+
+__all__ = [
+    "COMMAND_OFFSET",
+    "CMD_BUS_MASTER",
+    "CMD_INTX_DISABLE",
+    "CMD_IO_SPACE",
+    "CMD_MEM_SPACE",
+    "PciConfigSpace",
+    "PciQuirks",
+    "PciDevice",
+    "PciBus",
+    "UioBindError",
+    "UioPciGeneric",
+]

@@ -1,0 +1,49 @@
+"""A PCI bus: attachment, BDF addressing and enumeration."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.pci.device import PciDevice
+
+_BDF_PATTERN = re.compile(r"^[0-9a-f]{2}:[0-9a-f]{2}\.[0-7]$")
+
+
+class PciBus:
+    """Holds devices at ``bus:device.function`` addresses."""
+
+    def __init__(self) -> None:
+        self._devices: Dict[str, PciDevice] = {}
+
+    def attach(self, bdf: str, device: PciDevice) -> PciDevice:
+        """Attach ``device`` at ``bdf`` (e.g. ``"00:02.0"``)."""
+        if not _BDF_PATTERN.match(bdf):
+            raise ValueError(f"malformed BDF {bdf!r}")
+        if bdf in self._devices:
+            raise ValueError(f"BDF {bdf} already occupied")
+        if device.bdf is not None:
+            raise ValueError(f"{device!r} already attached at {device.bdf}")
+        self._devices[bdf] = device
+        device.bdf = bdf
+        return device
+
+    def device(self, bdf: str) -> PciDevice:
+        """Look up the device at a BDF address."""
+        if bdf not in self._devices:
+            raise KeyError(f"no device at {bdf}")
+        return self._devices[bdf]
+
+    def enumerate(self) -> List[PciDevice]:
+        """Devices in BDF order — what ``lspci`` (or DPDK's EAL scan)
+        walks."""
+        return [self._devices[bdf] for bdf in sorted(self._devices)]
+
+    def find(self, vendor_id: int, device_id: int) -> List[PciDevice]:
+        """All devices matching a (vendor, device) ID pair."""
+        return [dev for dev in self.enumerate()
+                if dev.config_space.vendor_id == vendor_id
+                and dev.config_space.device_id == device_id]
+
+    def __len__(self) -> int:
+        return len(self._devices)

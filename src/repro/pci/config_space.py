@@ -1,0 +1,192 @@
+"""PCI configuration space.
+
+Fig 2 of the paper shows the first 8 bytes: Device ID / Vendor ID at offset
+0x00, Status / Command at 0x04.  The 16-bit Command Register at offset 0x04
+carries bit 10, the *interrupt disable* bit; the paper's first gem5 change
+is implementing that bit, and its second is allowing 8-bit accesses to the
+register (DPDK reads/writes the upper command byte at offset 0x05).
+
+:class:`PciQuirks` reproduces baseline gem5's limitations so both the fixed
+and broken behaviours are testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CONFIG_SPACE_SIZE = 256
+
+VENDOR_ID_OFFSET = 0x00
+DEVICE_ID_OFFSET = 0x02
+COMMAND_OFFSET = 0x04
+STATUS_OFFSET = 0x06
+REVISION_OFFSET = 0x08
+CLASS_CODE_OFFSET = 0x09
+BAR0_OFFSET = 0x10
+BAR_COUNT = 6
+INTERRUPT_LINE_OFFSET = 0x3C
+INTERRUPT_PIN_OFFSET = 0x3D
+
+# Command register bits.
+CMD_IO_SPACE = 1 << 0
+CMD_MEM_SPACE = 1 << 1
+CMD_BUS_MASTER = 1 << 2
+CMD_SPECIAL_CYCLES = 1 << 3
+CMD_MWI_ENABLE = 1 << 4
+CMD_VGA_SNOOP = 1 << 5
+CMD_PARITY_ERR = 1 << 6
+CMD_SERR_ENABLE = 1 << 8
+CMD_FAST_B2B = 1 << 9
+CMD_INTX_DISABLE = 1 << 10
+
+# Bits 0-9: what baseline gem5 implements; bit 10 is the paper's addition.
+_BASELINE_CMD_MASK = 0x03FF
+_FIXED_CMD_MASK = 0x07FF
+
+
+@dataclass(frozen=True)
+class PciQuirks:
+    """Feature switches reproducing baseline-gem5 vs fixed behaviour.
+
+    With both False this models mainline gem5 before the paper's changes:
+    the interrupt-disable bit reads as zero and cannot be set, and 8-bit
+    accesses that touch the Command Register are silently ignored.
+    """
+
+    interrupt_disable_implemented: bool = True
+    byte_granular_command_access: bool = True
+
+    @classmethod
+    def baseline_gem5(cls) -> "PciQuirks":
+        """The mainline-gem5 behaviour, before the paper's fixes."""
+        return cls(interrupt_disable_implemented=False,
+                   byte_granular_command_access=False)
+
+    @classmethod
+    def fixed(cls) -> "PciQuirks":
+        """The paper's fixed behaviour (all changes applied)."""
+        return cls()
+
+
+class PciConfigSpace:
+    """A 256-byte type-0 configuration space."""
+
+    def __init__(self, vendor_id: int, device_id: int,
+                 quirks: PciQuirks = PciQuirks()) -> None:
+        if not 0 <= vendor_id <= 0xFFFF or not 0 <= device_id <= 0xFFFF:
+            raise ValueError("vendor/device IDs are 16-bit")
+        self.quirks = quirks
+        self._data = bytearray(CONFIG_SPACE_SIZE)
+        self._write16_raw(VENDOR_ID_OFFSET, vendor_id)
+        self._write16_raw(DEVICE_ID_OFFSET, device_id)
+        self.ignored_writes = 0   # byte writes dropped by the baseline quirk
+
+    # -- raw helpers ---------------------------------------------------------
+
+    def _write16_raw(self, offset: int, value: int) -> None:
+        self._data[offset] = value & 0xFF
+        self._data[offset + 1] = (value >> 8) & 0xFF
+
+    def _read16_raw(self, offset: int) -> int:
+        return self._data[offset] | (self._data[offset + 1] << 8)
+
+    # -- typed accessors ------------------------------------------------------
+
+    @property
+    def vendor_id(self) -> int:
+        """The 16-bit vendor identifier."""
+        return self._read16_raw(VENDOR_ID_OFFSET)
+
+    @property
+    def device_id(self) -> int:
+        """The 16-bit device identifier."""
+        return self._read16_raw(DEVICE_ID_OFFSET)
+
+    @property
+    def command(self) -> int:
+        """The 16-bit Command Register value."""
+        return self._read16_raw(COMMAND_OFFSET)
+
+    @property
+    def interrupts_disabled(self) -> bool:
+        """State of the Command Register's bit-10."""
+        return bool(self.command & CMD_INTX_DISABLE)
+
+    @property
+    def bus_master_enabled(self) -> bool:
+        """State of the Command Register's bus-master bit."""
+        return bool(self.command & CMD_BUS_MASTER)
+
+    def _command_mask(self) -> int:
+        if self.quirks.interrupt_disable_implemented:
+            return _FIXED_CMD_MASK
+        return _BASELINE_CMD_MASK
+
+    # -- config-space read/write (the gem5 readConfig/writeConfig path) ------
+
+    def read(self, offset: int, size: int) -> int:
+        """Read ``size`` bytes (1, 2 or 4) little-endian at ``offset``."""
+        self._check_access(offset, size)
+        if (not self.quirks.byte_granular_command_access and size == 1
+                and offset in (COMMAND_OFFSET, COMMAND_OFFSET + 1)):
+            # Baseline gem5 ignores sub-word Command accesses: reads return
+            # zero, which is how DPDK "cannot properly read ... the upper
+            # half of the Command Register".
+            return 0
+        return int.from_bytes(self._data[offset:offset + size], "little")
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        """Write ``size`` bytes little-endian at ``offset``.
+
+        The Command Register is write-masked; other writable registers are
+        stored verbatim (read-only ID fields are protected).
+        """
+        self._check_access(offset, size)
+        if value < 0 or value >= (1 << (8 * size)):
+            raise ValueError(f"value {value:#x} does not fit {size} bytes")
+        span = range(offset, offset + size)
+        touches_command = any(
+            off in (COMMAND_OFFSET, COMMAND_OFFSET + 1) for off in span)
+        if touches_command and size == 1 \
+                and not self.quirks.byte_granular_command_access:
+            self.ignored_writes += 1
+            return
+        for i, off in enumerate(span):
+            byte = (value >> (8 * i)) & 0xFF
+            if off in (VENDOR_ID_OFFSET, VENDOR_ID_OFFSET + 1,
+                       DEVICE_ID_OFFSET, DEVICE_ID_OFFSET + 1):
+                continue  # read-only
+            if off == COMMAND_OFFSET:
+                mask = self._command_mask() & 0xFF
+                self._data[off] = byte & mask
+            elif off == COMMAND_OFFSET + 1:
+                mask = (self._command_mask() >> 8) & 0xFF
+                self._data[off] = byte & mask
+            else:
+                self._data[off] = byte
+
+    def _check_access(self, offset: int, size: int) -> None:
+        if size not in (1, 2, 4):
+            raise ValueError(f"PCI config access size must be 1/2/4, got {size}")
+        if offset % size:
+            raise ValueError(
+                f"unaligned config access: offset {offset:#x} size {size}")
+        if offset < 0 or offset + size > CONFIG_SPACE_SIZE:
+            raise ValueError(f"config offset {offset:#x} out of range")
+
+    # -- BARs -----------------------------------------------------------------
+
+    def set_bar(self, index: int, base: int) -> None:
+        """Program a base address register."""
+        if not 0 <= index < BAR_COUNT:
+            raise ValueError(f"BAR index {index} out of range")
+        offset = BAR0_OFFSET + 4 * index
+        for i in range(4):
+            self._data[offset + i] = (base >> (8 * i)) & 0xFF
+
+    def bar(self, index: int) -> int:
+        """Read a base address register."""
+        if not 0 <= index < BAR_COUNT:
+            raise ValueError(f"BAR index {index} out of range")
+        offset = BAR0_OFFSET + 4 * index
+        return int.from_bytes(self._data[offset:offset + 4], "little")

@@ -1,0 +1,72 @@
+"""PCI device base class.
+
+A device owns a config space, a BDF address once attached to a bus, and an
+INTx line.  ``post_interrupt`` honours the Command Register's interrupt
+disable bit — that is the mechanism the paper's fix enables: once Linux can
+set bit 10, ``uio_pci_generic`` can mask legacy interrupts and a polling
+driver can own the device.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.pci.config_space import PciConfigSpace, PciQuirks
+
+
+class PciDevice:
+    """Base class for PCI function models."""
+
+    def __init__(self, vendor_id: int, device_id: int,
+                 quirks: PciQuirks = PciQuirks()) -> None:
+        self.config_space = PciConfigSpace(vendor_id, device_id, quirks)
+        self.bdf: Optional[str] = None
+        self.interrupt_handler: Optional[Callable[[], None]] = None
+        self.interrupts_posted = 0
+        self.interrupts_suppressed = 0
+        self.driver_name: Optional[str] = None
+
+    # -- config access (gem5's readConfig/writeConfig) -----------------------
+
+    def read_config(self, offset: int, size: int) -> int:
+        """Config-space read (the gem5 readConfig path)."""
+        return self.config_space.read(offset, size)
+
+    def write_config(self, offset: int, size: int, value: int) -> None:
+        """Config-space write (the gem5 writeConfig path)."""
+        self.config_space.write(offset, size, value)
+
+    # -- interrupts -----------------------------------------------------------
+
+    def post_interrupt(self) -> bool:
+        """Raise INTx if permitted; returns True if delivered."""
+        if self.config_space.interrupts_disabled:
+            self.interrupts_suppressed += 1
+            return False
+        if self.device_interrupts_masked():
+            self.interrupts_suppressed += 1
+            return False
+        self.interrupts_posted += 1
+        if self.interrupt_handler is not None:
+            self.interrupt_handler()
+        return True
+
+    def device_interrupts_masked(self) -> bool:
+        """Device-specific interrupt masking (e.g. a NIC's IMR/IMC);
+        subclasses override."""
+        return False
+
+    # -- driver binding --------------------------------------------------------
+
+    def bind_driver(self, name: str) -> None:
+        """Record the driver now owning this device."""
+        self.driver_name = name
+
+    def unbind_driver(self) -> None:
+        """Release the owning driver."""
+        self.driver_name = None
+
+    def __repr__(self) -> str:
+        cs = self.config_space
+        return (f"<{type(self).__name__} {self.bdf or 'unattached'} "
+                f"{cs.vendor_id:04x}:{cs.device_id:04x}>")

@@ -1,0 +1,61 @@
+"""The ``uio_pci_generic`` driver model.
+
+"uio_pci_generic driver in Linux enables a userspace application to
+directly access the address space of a PCI device.  DPDK uses this driver
+to ... implement a Polling Mode Driver.  Mainline gem5 does not enable the
+uio_pci_generic driver during boot as the PCI Command Register is not fully
+implemented" (paper §III.A.1).
+
+The real driver refuses to bind a device whose interrupt-disable bit it
+cannot operate — that is exactly the failure this model reproduces when the
+device carries baseline-gem5 quirks.
+"""
+
+from __future__ import annotations
+
+from repro.pci.config_space import CMD_BUS_MASTER, CMD_INTX_DISABLE, COMMAND_OFFSET
+from repro.pci.device import PciDevice
+
+DRIVER_NAME = "uio_pci_generic"
+
+
+class UioBindError(RuntimeError):
+    """Raised when the UIO driver cannot bind a device."""
+
+
+class UioPciGeneric:
+    """Binds PCI devices for userspace I/O."""
+
+    def __init__(self) -> None:
+        self.bound: list = []
+
+    def bind(self, device: PciDevice) -> None:
+        """Bind ``device``: disable its legacy interrupt and enable bus
+        mastering, as the kernel driver does.
+
+        Raises :class:`UioBindError` if the device's Command Register does
+        not implement the interrupt-disable bit (the mainline-gem5 case).
+        """
+        if device.driver_name is not None:
+            raise UioBindError(
+                f"{device!r} is already bound to {device.driver_name}")
+        command = device.read_config(COMMAND_OFFSET, 2)
+        device.write_config(COMMAND_OFFSET, 2,
+                            command | CMD_INTX_DISABLE | CMD_BUS_MASTER)
+        if not device.read_config(COMMAND_OFFSET, 2) & CMD_INTX_DISABLE:
+            raise UioBindError(
+                "PCI Command Register does not implement the interrupt "
+                "disable bit (bit 10); cannot operate the device from "
+                "userspace — this is the mainline-gem5 limitation the "
+                "paper fixes (§III.A.1)")
+        device.bind_driver(DRIVER_NAME)
+        self.bound.append(device)
+
+    def unbind(self, device: PciDevice) -> None:
+        """Release a device from this driver."""
+        if device not in self.bound:
+            raise UioBindError(f"{device!r} is not bound to {DRIVER_NAME}")
+        command = device.read_config(COMMAND_OFFSET, 2)
+        device.write_config(COMMAND_OFFSET, 2, command & ~CMD_INTX_DISABLE)
+        device.unbind_driver()
+        self.bound.remove(device)

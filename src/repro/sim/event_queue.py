@@ -1,0 +1,178 @@
+"""The event queue at the heart of the simulation.
+
+Events are (tick, priority, sequence) ordered: ties on tick are broken by
+priority (lower first) and then by insertion order, which makes simulations
+fully deterministic for a fixed seed and schedule order — the property gem5
+guarantees and that reproducible experiments depend on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are single-shot: once fired (or cancelled) they must be
+    re-scheduled to run again.  ``deschedule`` marks the event cancelled;
+    the queue lazily discards cancelled entries when they surface.
+    """
+
+    __slots__ = ("callback", "name", "priority", "_when", "_scheduled",
+                 "_seq", "_gen")
+
+    DEFAULT_PRIORITY = 0
+
+    def __init__(
+        self,
+        callback: Callable[[], None],
+        name: str = "",
+        priority: int = DEFAULT_PRIORITY,
+    ) -> None:
+        self.callback = callback
+        self.name = name or getattr(callback, "__qualname__", "event")
+        self.priority = priority
+        self._when: Optional[int] = None
+        self._scheduled = False
+        self._seq = -1
+        self._gen = 0   # bumped on deschedule so stale heap entries die
+
+    @property
+    def scheduled(self) -> bool:
+        """Whether the event is currently pending in a queue."""
+        return self._scheduled
+
+    @property
+    def when(self) -> Optional[int]:
+        """The tick the event is scheduled for, or None."""
+        return self._when if self._scheduled else None
+
+    def __repr__(self) -> str:
+        state = f"@{self._when}" if self._scheduled else "unscheduled"
+        return f"<Event {self.name} {state}>"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._now = 0
+        self._seq = 0
+        self._fired = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated tick."""
+        return self._now
+
+    @property
+    def fired(self) -> int:
+        """Total number of events executed."""
+        return self._fired
+
+    @property
+    def pending(self) -> int:
+        """Number of live (not descheduled) events still queued."""
+        return sum(1 for entry in self._heap
+                   if entry[3]._scheduled and entry[4] == entry[3]._gen)
+
+    def schedule(self, event: Event, when: int) -> Event:
+        """Schedule ``event`` at absolute tick ``when``.
+
+        Scheduling into the past is an error; scheduling an already-scheduled
+        event is an error (deschedule or reschedule instead).
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule {event!r} at {when}, now is {self._now}"
+            )
+        if event._scheduled:
+            raise RuntimeError(f"{event!r} is already scheduled")
+        event._when = when
+        event._scheduled = True
+        event._seq = self._seq
+        self._seq += 1
+        heapq.heappush(self._heap,
+                       (when, event.priority, event._seq, event, event._gen))
+        return event
+
+    def schedule_after(self, event: Event, delay: int) -> Event:
+        """Schedule ``event`` ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule(event, self._now + delay)
+
+    def deschedule(self, event: Event) -> None:
+        """Cancel a pending event.  Cancelling an idle event is a no-op."""
+        event._scheduled = False
+        event._gen += 1
+
+    def reschedule(self, event: Event, when: int) -> Event:
+        """Move an event (scheduled or not) to absolute tick ``when``."""
+        self.deschedule(event)
+        return self.schedule(event, when)
+
+    def call_at(
+        self, when: int, callback: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Convenience: wrap ``callback`` in a fresh event at tick ``when``."""
+        return self.schedule(Event(callback, name=name), when)
+
+    def call_after(
+        self, delay: int, callback: Callable[[], None], name: str = ""
+    ) -> Event:
+        """Convenience: wrap ``callback`` in a fresh event ``delay`` ticks out."""
+        return self.schedule_after(Event(callback, name=name), delay)
+
+    def peek(self) -> Optional[int]:
+        """Tick of the next live event, or None if the queue is drained."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def _drop_cancelled(self) -> None:
+        while self._heap:
+            _when, _prio, _seq, event, gen = self._heap[0]
+            if event._scheduled and gen == event._gen:
+                return
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False if the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        when, _prio, _seq, event, _gen = heapq.heappop(self._heap)
+        self._now = when
+        event._scheduled = False
+        event._gen += 1
+        self._fired += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is passed, or
+        ``max_events`` have fired.  Returns the current tick.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` run.
+        When the horizon is reached with events still pending, ``now`` is
+        advanced to ``until`` so repeated bounded runs make progress.
+        """
+        budget = max_events if max_events is not None else -1
+        while budget != 0:
+            self._drop_cancelled()
+            if not self._heap:
+                break
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                break
+            self.step()
+            if budget > 0:
+                budget -= 1
+        if until is not None and self._now < until and not self._heap:
+            self._now = until
+        return self._now

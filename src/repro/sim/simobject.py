@@ -1,0 +1,109 @@
+"""SimObject base class and the Simulation container.
+
+A :class:`Simulation` owns the event queue, the stat registry and the RNG; a
+:class:`SimObject` is any named component attached to it.  This mirrors
+gem5's SimObject/Root split closely enough that the paper's architecture
+descriptions ("we implement a simulation object called EtherLoadGen ...")
+translate one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.event_queue import Event, EventQueue
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import StatGroup, StatRegistry
+
+
+class Simulation:
+    """Top-level container: event queue + stats + RNG + object registry."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.events = EventQueue()
+        self.stats = StatRegistry()
+        self.rng = DeterministicRng(seed)
+        self._objects: Dict[str, "SimObject"] = {}
+
+    @property
+    def now(self) -> int:
+        """Current simulated tick."""
+        return self.events.now
+
+    def register(self, obj: "SimObject") -> None:
+        """Register a SimObject under its unique name."""
+        if obj.name in self._objects:
+            raise ValueError(f"duplicate SimObject name {obj.name!r}")
+        self._objects[obj.name] = obj
+
+    def object(self, name: str) -> "SimObject":
+        """Look up a SimObject by name."""
+        return self._objects[name]
+
+    def objects(self) -> List["SimObject"]:
+        """All registered SimObjects."""
+        return list(self._objects.values())
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run the event loop; see :meth:`EventQueue.run`."""
+        return self.events.run(until=until, max_events=max_events)
+
+    def reset_stats(self) -> None:
+        """gem5-style stats reset after warm-up."""
+        self.stats.reset()
+        for obj in self._objects.values():
+            obj.on_stats_reset()
+
+
+class SimObject:
+    """A named simulation component.
+
+    Subclasses get:
+
+    - ``self.sim`` — the owning :class:`Simulation`
+    - ``self.stats`` — a :class:`StatGroup` namespaced by the object name
+    - scheduling helpers (``schedule_after`` etc.) bound to the shared queue
+    """
+
+    def __init__(self, sim: Simulation, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.stats: StatGroup = sim.stats.group(name)
+        sim.register(self)
+
+    @property
+    def now(self) -> int:
+        """Current simulated tick."""
+        return self.sim.events.now
+
+    def make_event(self, callback: Callable[[], None], name: str = "",
+                   priority: int = Event.DEFAULT_PRIORITY) -> Event:
+        """Create an event owned by this object."""
+        return Event(callback, name=f"{self.name}.{name or 'event'}",
+                     priority=priority)
+
+    def schedule(self, event: Event, when: int) -> Event:
+        """Schedule an event at an absolute tick."""
+        return self.sim.events.schedule(event, when)
+
+    def schedule_after(self, event: Event, delay: int) -> Event:
+        """Schedule an event relative to now."""
+        return self.sim.events.schedule_after(event, delay)
+
+    def call_after(self, delay: int, callback: Callable[[], None],
+                   name: str = "") -> Event:
+        """Schedule a one-shot callback relative to now."""
+        return self.sim.events.call_after(
+            delay, callback, name=f"{self.name}.{name or 'call'}")
+
+    def deschedule(self, event: Event) -> None:
+        """Cancel a pending event."""
+        self.sim.events.deschedule(event)
+
+    def on_stats_reset(self) -> None:
+        """Hook invoked by Simulation.reset_stats; override to clear any
+        measurement state kept outside the stats framework."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

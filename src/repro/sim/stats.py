@@ -1,0 +1,302 @@
+"""Statistics framework.
+
+Mirrors the part of gem5's stats system the paper's evaluation relies on:
+scalar counters, distributions with mean/stddev/percentiles, and histograms
+(EtherLoadGen reports "mean, median, standard deviation, and tail latency of
+network packets ... a packet drop percentage and a histogram of packet
+forwarding latency").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List
+
+
+class Counter:
+    """A named scalar counter."""
+
+    __slots__ = ("name", "desc", "value")
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        self.name = name
+        self.desc = desc
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Increment by ``amount`` (may be negative for corrections)."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset to the initial (empty) state."""
+        self.value = 0
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Distribution:
+    """Streaming distribution: keeps every sample for exact percentiles.
+
+    Sample counts in this simulator are modest (one per packet), so exact
+    storage is affordable and gives exact medians/tails, which matter for the
+    latency plots.
+    """
+
+    __slots__ = ("name", "desc", "samples")
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        self.name = name
+        self.desc = desc
+        self.samples: List[float] = []
+
+    def sample(self, value: float) -> None:
+        """Record one sample."""
+        self.samples.append(value)
+
+    def reset(self) -> None:
+        """Reset to the initial (empty) state."""
+        self.samples.clear()
+
+    @property
+    def count(self) -> int:
+        """Number of items currently held."""
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples."""
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples."""
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        var = sum((x - mu) ** 2 for x in self.samples) / (n - 1)
+        return math.sqrt(var)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample seen."""
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample seen."""
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Exact percentile by linear interpolation; pct in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile {pct} out of range")
+        data = sorted(self.samples)
+        if len(data) == 1:
+            return data[0]
+        rank = (pct / 100.0) * (len(data) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return data[lo]
+        frac = rank - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    @property
+    def median(self) -> float:
+        """50th percentile."""
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        """99th percentile."""
+        return self.percentile(99.0)
+
+    def summary(self) -> Dict[str, float]:
+        """The summary EtherLoadGen reports in its statistics file."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "median": self.median,
+            "stddev": self.stddev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p95": self.percentile(95.0),
+            "p99": self.p99,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Distribution {self.name} n={self.count} mean={self.mean:.3g}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram with overflow/underflow buckets."""
+
+    __slots__ = ("name", "desc", "lo", "hi", "nbuckets", "buckets",
+                 "underflow", "overflow", "_width")
+
+    def __init__(
+        self,
+        name: str,
+        lo: float,
+        hi: float,
+        nbuckets: int = 32,
+        desc: str = "",
+    ) -> None:
+        if hi <= lo:
+            raise ValueError(f"histogram range [{lo}, {hi}) is empty")
+        if nbuckets < 1:
+            raise ValueError("need at least one bucket")
+        self.name = name
+        self.desc = desc
+        self.lo = lo
+        self.hi = hi
+        self.nbuckets = nbuckets
+        self.buckets = [0] * nbuckets
+        self.underflow = 0
+        self.overflow = 0
+        self._width = (hi - lo) / nbuckets
+
+    def sample(self, value: float) -> None:
+        """Record one sample."""
+        if value < self.lo:
+            self.underflow += 1
+        elif value >= self.hi:
+            self.overflow += 1
+        else:
+            idx = int((value - self.lo) / self._width)
+            # Guard against float edge cases landing exactly on hi.
+            idx = min(idx, self.nbuckets - 1)
+            self.buckets[idx] += 1
+
+    def reset(self) -> None:
+        """Reset to the initial (empty) state."""
+        self.buckets = [0] * self.nbuckets
+        self.underflow = 0
+        self.overflow = 0
+
+    @property
+    def count(self) -> int:
+        """Number of items currently held."""
+        return sum(self.buckets) + self.underflow + self.overflow
+
+    def bucket_edges(self) -> List[float]:
+        """The nbuckets+1 bucket boundary values."""
+        return [self.lo + i * self._width for i in range(self.nbuckets + 1)]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict rendering for dumps."""
+        return {
+            "edges": self.bucket_edges(),
+            "counts": list(self.buckets),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class StatGroup:
+    """A namespace of stats belonging to one SimObject."""
+
+    def __init__(self, owner_name: str) -> None:
+        self.owner_name = owner_name
+        self._stats: Dict[str, object] = {}
+
+    def counter(self, name: str, desc: str = "") -> Counter:
+        """Create a namespaced Counter."""
+        return self._add(Counter(f"{self.owner_name}.{name}", desc))
+
+    def distribution(self, name: str, desc: str = "") -> Distribution:
+        """Create a namespaced Distribution."""
+        return self._add(Distribution(f"{self.owner_name}.{name}", desc))
+
+    def histogram(
+        self, name: str, lo: float, hi: float, nbuckets: int = 32, desc: str = ""
+    ) -> Histogram:
+        """Create a namespaced Histogram."""
+        return self._add(
+            Histogram(f"{self.owner_name}.{name}", lo, hi, nbuckets, desc)
+        )
+
+    def _add(self, stat):
+        short = stat.name.rsplit(".", 1)[-1]
+        if short in self._stats:
+            raise ValueError(f"duplicate stat {stat.name}")
+        self._stats[short] = stat
+        return stat
+
+    def __getitem__(self, short_name: str):
+        return self._stats[short_name]
+
+    def __contains__(self, short_name: str) -> bool:
+        return short_name in self._stats
+
+    def all(self) -> Iterable[object]:
+        """All stats in this group."""
+        return self._stats.values()
+
+    def reset(self) -> None:
+        """Reset to the initial (empty) state."""
+        for stat in self._stats.values():
+            stat.reset()
+
+
+class StatRegistry:
+    """All stat groups of a simulation; supports dump and global reset.
+
+    ``reset()`` is how the harness implements gem5-style warm-up: run the
+    simulation for the warm-up period, reset statistics, then measure.
+    """
+
+    def __init__(self) -> None:
+        self._groups: List[StatGroup] = []
+
+    def group(self, owner_name: str) -> StatGroup:
+        """Create a stat group namespaced by an owner name."""
+        grp = StatGroup(owner_name)
+        self._groups.append(grp)
+        return grp
+
+    def reset(self) -> None:
+        """Reset to the initial (empty) state."""
+        for grp in self._groups:
+            grp.reset()
+
+    def dump(self) -> Dict[str, object]:
+        """Flatten all stats into a {full_name: value} mapping."""
+        out: Dict[str, object] = {}
+        for grp in self._groups:
+            for stat in grp.all():
+                if isinstance(stat, Counter):
+                    out[stat.name] = stat.value
+                elif isinstance(stat, Distribution):
+                    for key, val in stat.summary().items():
+                        out[f"{stat.name}.{key}"] = val
+                elif isinstance(stat, Histogram):
+                    out[stat.name] = stat.as_dict()
+        return out
+
+    def format(self) -> str:
+        """A gem5 stats.txt-style text rendering."""
+        lines = []
+        for name, value in sorted(self.dump().items()):
+            if isinstance(value, dict):
+                lines.append(f"{name:60s} <histogram n={sum(value['counts'])}>")
+            elif isinstance(value, float):
+                lines.append(f"{name:60s} {value:.6g}")
+            else:
+                lines.append(f"{name:60s} {value}")
+        return "\n".join(lines)

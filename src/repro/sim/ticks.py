@@ -1,0 +1,59 @@
+"""Simulated-time units.
+
+Like gem5, simulated time is an integer count of *ticks* where one tick is a
+picosecond.  Integer ticks keep the event queue exact and deterministic; all
+conversions round to the nearest tick.
+"""
+
+from __future__ import annotations
+
+TICKS_PER_SEC = 10**12
+TICKS_PER_MS = 10**9
+TICKS_PER_US = 10**6
+TICKS_PER_NS = 10**3
+
+
+def s_to_ticks(seconds: float) -> int:
+    """Convert seconds to ticks (rounded to nearest tick)."""
+    return round(seconds * TICKS_PER_SEC)
+
+
+def ms_to_ticks(milliseconds: float) -> int:
+    """Convert milliseconds to ticks."""
+    return round(milliseconds * TICKS_PER_MS)
+
+
+def us_to_ticks(microseconds: float) -> int:
+    """Convert microseconds to ticks."""
+    return round(microseconds * TICKS_PER_US)
+
+
+def ns_to_ticks(nanoseconds: float) -> int:
+    """Convert nanoseconds to ticks."""
+    return round(nanoseconds * TICKS_PER_NS)
+
+
+def ticks_to_s(ticks: int) -> float:
+    """Convert ticks to seconds."""
+    return ticks / TICKS_PER_SEC
+
+
+def ticks_to_us(ticks: int) -> float:
+    """Convert ticks to microseconds."""
+    return ticks / TICKS_PER_US
+
+
+def ticks_to_ns(ticks: int) -> float:
+    """Convert ticks to nanoseconds."""
+    return ticks / TICKS_PER_NS
+
+
+def freq_to_period(hz: float) -> int:
+    """Clock period in ticks for a frequency in Hz.
+
+    >>> freq_to_period(1e9)   # 1 GHz -> 1 ns
+    1000
+    """
+    if hz <= 0:
+        raise ValueError(f"frequency must be positive, got {hz}")
+    return round(TICKS_PER_SEC / hz)

@@ -1,0 +1,157 @@
+"""dist-gem5-style synchronized simulation.
+
+The paper's Fig 1a baseline can run as dual-mode gem5 (one process) or as
+dist-gem5 [19]: two gem5 processes, one per node, "synchronizing them at
+every minimum simulated network latency".  This module implements that
+conservative parallel-discrete-event scheme for two (or more)
+:class:`~repro.sim.simobject.Simulation` instances:
+
+- each simulation runs independently up to the next *quantum barrier*;
+- frames crossing between simulations are buffered in a mailbox and
+  injected into the peer at the barrier;
+- correctness holds because the link latency is at least one quantum, so
+  a frame sent during quantum *k* can never need delivery before barrier
+  *k+1* — exactly dist-gem5's synchronization argument.
+
+The simulations here still run in one Python process (true parallelism
+would need multiprocessing), but the synchronization structure, the
+quantum-bounded skew and the mailbox protocol are the real thing, and the
+skew/ordering invariants are testable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.nic.phy import EtherPort
+from repro.sim.simobject import Simulation
+
+
+class DistPortAdapter:
+    """One end of a cross-simulation link, living inside one simulation."""
+
+    def __init__(self, sim: Simulation, name: str, link: "DistEtherLink",
+                 side: int) -> None:
+        self.sim = sim
+        self.name = name
+        self._link = link
+        self._side = side
+        self.peer_port: Optional[EtherPort] = None
+        self._tx_free_at = 0
+
+    def attach(self, port: EtherPort) -> None:
+        """Wire a device port to this end of the distributed link."""
+        if port.link is not None:
+            raise RuntimeError(f"{port.name} is already connected")
+        port.link = self
+        self.peer_port = port
+
+    # EtherLink-compatible surface for the attached EtherPort:
+    def transmit(self, src_port: EtherPort, packet: Packet) -> None:
+        """Serialize at line rate, then hand off to the mailbox."""
+        start = max(self.sim.now, self._tx_free_at)
+        wire_bits = (packet.wire_len + 20) * 8
+        finish = start + round(
+            wire_bits * 1e12 / self._link.bandwidth_bits_per_sec)
+        self._tx_free_at = finish
+        deliver_at = finish + self._link.delay_ticks
+        self._link.post(self._side, deliver_at, packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the link coordinator at a barrier flush."""
+        if self.peer_port is None:
+            raise RuntimeError(f"{self.name} has no attached device port")
+        self.peer_port.deliver(packet)
+
+
+class DistEtherLink:
+    """A point-to-point Ethernet link spanning two simulations."""
+
+    def __init__(self, sim_a: Simulation, sim_b: Simulation,
+                 bandwidth_bits_per_sec: float = 100e9,
+                 delay_ticks: int = 0) -> None:
+        if delay_ticks <= 0:
+            raise ValueError(
+                "a distributed link needs a positive latency: the sync "
+                "quantum is bounded by it")
+        self.bandwidth_bits_per_sec = bandwidth_bits_per_sec
+        self.delay_ticks = delay_ticks
+        self.end_a = DistPortAdapter(sim_a, "dist.a", self, 0)
+        self.end_b = DistPortAdapter(sim_b, "dist.b", self, 1)
+        # mailbox[side] holds frames sent *from* that side.
+        self._mailbox: Tuple[List, List] = ([], [])
+        self.frames_carried = 0
+
+    def post(self, side: int, deliver_at: int, packet: Packet) -> None:
+        """Queue a frame for delivery into the peer simulation."""
+        self._mailbox[side].append((deliver_at, packet))
+
+    def flush(self) -> int:
+        """Inject mailboxed frames into their target simulations.
+
+        Called by the coordinator at each barrier; returns the number of
+        frames moved.  Frames are scheduled at their exact delivery tick,
+        which the quantum bound guarantees is still in the target's
+        future.
+        """
+        moved = 0
+        for side, target in ((0, self.end_b), (1, self.end_a)):
+            pending, self._mailbox[side][:] = \
+                list(self._mailbox[side]), []
+            for deliver_at, packet in pending:
+                if deliver_at < target.sim.now:
+                    raise RuntimeError(
+                        "synchronization violated: delivery at "
+                        f"{deliver_at} but peer already at "
+                        f"{target.sim.now} (quantum too large?)")
+                target.sim.events.call_at(
+                    deliver_at,
+                    lambda p=packet, t=target: t.deliver(p),
+                    name="dist.deliver")
+                moved += 1
+                self.frames_carried += 1
+        return moved
+
+
+class DistCoordinator:
+    """Runs multiple simulations in quantum-synchronized lockstep."""
+
+    def __init__(self, sims: List[Simulation], links: List[DistEtherLink],
+                 quantum_ticks: Optional[int] = None) -> None:
+        if len(sims) < 2:
+            raise ValueError("dist mode needs at least two simulations")
+        min_latency = min(link.delay_ticks for link in links)
+        self.quantum_ticks = (quantum_ticks if quantum_ticks is not None
+                              else min_latency)
+        if self.quantum_ticks <= 0:
+            raise ValueError("quantum must be positive")
+        if self.quantum_ticks > min_latency:
+            raise ValueError(
+                f"quantum {self.quantum_ticks} exceeds the minimum link "
+                f"latency {min_latency}: frames could arrive in a peer's "
+                "past")
+        self.sims = sims
+        self.links = links
+        self.barriers = 0
+
+    @property
+    def now(self) -> int:
+        """Global time: the last completed barrier."""
+        return min(sim.now for sim in self.sims)
+
+    def run(self, until: int) -> int:
+        """Advance all simulations to ``until`` in quantum steps."""
+        while self.now < until:
+            barrier = min(self.now + self.quantum_ticks, until)
+            for sim in self.sims:
+                sim.run(until=barrier)
+            for link in self.links:
+                link.flush()
+            self.barriers += 1
+        return self.now
+
+    def max_skew(self) -> int:
+        """Worst-case divergence between member simulations right now."""
+        times = [sim.now for sim in self.sims]
+        return max(times) - min(times)

@@ -1,0 +1,215 @@
+"""Test-node assembly.
+
+Builds the full simulated host of Fig 1b: EtherLoadGen — link — NIC —
+DMA/I-O bus — memory hierarchy — core — application, in both DPDK and
+kernel-stack flavours.  The build path exercises the same sequence as
+Listing 2 of the paper: bind ``uio_pci_generic``, reserve hugepages, and
+launch the DPDK application through the EAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Type
+
+from repro.cpu import make_core
+from repro.dpdk.eal import Eal
+from repro.dpdk.hugepages import HugepageAllocator
+from repro.dpdk.mempool import Mempool
+from repro.dpdk.pmd import E1000Pmd
+from repro.kernelstack.driver import InterruptNicDriver
+from repro.kernelstack.stack import KernelStackModel
+from repro.kvstore.store import KvStore
+from repro.loadgen.ether_load_gen import (
+    DEFAULT_DST_MAC,
+    DEFAULT_SRC_MAC,
+    EtherLoadGen,
+)
+from repro.loadgen.memcached_client import MemcachedClient, MemcachedClientConfig
+from repro.mem.address import AddressSpace
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.xbar import BandwidthServer
+from repro.nic.dma import DmaEngine
+from repro.nic.i8254x import E1000_DEVICE_ID, I8254xNic, INTEL_VENDOR_ID
+from repro.nic.phy import EtherLink
+from repro.pci.bus import PciBus
+from repro.pci.uio import UioBindError, UioPciGeneric
+from repro.sim.simobject import Simulation
+from repro.sim.ticks import ns_to_ticks, us_to_ticks
+from repro.system.config import SystemConfig
+
+
+class NodeBuildError(RuntimeError):
+    """The node could not be brought up (e.g. DPDK on baseline gem5)."""
+
+
+class _BaseNode:
+    """Common plumbing: sim, memory, core, NIC, link."""
+
+    def __init__(self, config: SystemConfig, seed: int = 0) -> None:
+        self.config = config
+        self.sim = Simulation(seed=seed)
+        self.address_space = AddressSpace()
+        self.hierarchy = MemoryHierarchy(config.hierarchy)
+        self.core = make_core(config.core, self.hierarchy)
+        self.core.clock = lambda: self.sim.now / 1000.0   # ticks -> ns
+        self.iobus = BandwidthServer(
+            "iobus", config.iobus_bytes_per_sec,
+            ns_to_ticks(config.iobus_latency_ns))
+        self.dma = DmaEngine(config.nic.dma, self.iobus, self.hierarchy)
+        self.nic = I8254xNic(self.sim, "nic0", self._nic_config(),
+                             self.dma, self.address_space,
+                             config.pci_quirks)
+        self.pci_bus = PciBus()
+        self.pci_bus.attach("00:02.0", self.nic)
+        self.link = EtherLink(self.sim, "link0",
+                              bandwidth_bits_per_sec=config.link_bandwidth_bps,
+                              delay_ticks=us_to_ticks(config.link_delay_us))
+        self.loadgen: Optional[EtherLoadGen] = None
+        self.memcached_client: Optional[MemcachedClient] = None
+        self.app = None
+
+    def _nic_config(self):
+        return self.config.nic
+
+    # -- client attachment -------------------------------------------------
+
+    def attach_loadgen(self) -> EtherLoadGen:
+        """Connect an EtherLoadGen to the NIC port (Fig 1b)."""
+        if self.loadgen is not None or self.memcached_client is not None:
+            raise NodeBuildError("node already has a traffic source")
+        self.loadgen = EtherLoadGen(self.sim, "loadgen",
+                                    dst_mac=DEFAULT_DST_MAC,
+                                    src_mac=DEFAULT_SRC_MAC)
+        self.link.connect(self.loadgen.port, self.nic.port)
+        return self.loadgen
+
+    def attach_memcached_client(
+            self, client_config: MemcachedClientConfig) -> MemcachedClient:
+        """Connect the memcached client personality instead."""
+        if self.loadgen is not None or self.memcached_client is not None:
+            raise NodeBuildError("node already has a traffic source")
+        self.memcached_client = MemcachedClient(
+            self.sim, "memcached_client", client_config,
+            dst_mac=DEFAULT_DST_MAC, src_mac=DEFAULT_SRC_MAC)
+        self.link.connect(self.memcached_client.port, self.nic.port)
+        return self.memcached_client
+
+    # -- simulation control --------------------------------------------------
+
+    def run_us(self, microseconds: float) -> int:
+        """Advance the simulation by the given simulated time."""
+        return self.sim.run(until=self.sim.now + us_to_ticks(microseconds))
+
+    def warmup_and_reset(self) -> None:
+        """Run the configured warm-up, then reset statistics (the gem5
+        methodology of §VI.A)."""
+        self.run_us(self.config.warmup_us)
+        self.sim.reset_stats()
+        self.hierarchy.reset_counters()
+        self.core.reset_counters()
+        self.dma.reset_counters()
+        self.iobus.reset_counters()
+
+
+class DpdkNode(_BaseNode):
+    """A Test Node running a DPDK application (Listing 2 flow)."""
+
+    def __init__(self, config: SystemConfig, app_class: Optional[Type] = None,
+                 app_kwargs: Optional[dict] = None, seed: int = 0) -> None:
+        super().__init__(config, seed=seed)
+        # modprobe uio_pci_generic && dpdk-devbind.py -b uio_pci_generic
+        self.uio = UioPciGeneric()
+        try:
+            self.uio.bind(self.nic)
+        except UioBindError as exc:
+            raise NodeBuildError(
+                f"cannot run DPDK on {config.label}: {exc}") from exc
+        # echo 2048 > .../nr_hugepages
+        self.hugepages = HugepageAllocator(self.address_space,
+                                           config.nr_hugepages)
+        # The pool must always cover both rings plus in-flight bursts;
+        # ring-size overrides (e.g. Fig 13's 4096-entry ring) scale it.
+        n_mbufs = max(config.mempool_mbufs,
+                      config.nic.rx_ring_size + config.nic.tx_ring_size
+                      + 512)
+        self.mempool = Mempool("mbuf_pool", self.hugepages,
+                               n_mbufs=n_mbufs,
+                               mbuf_size=config.mbuf_size)
+        # dpdk-<app> -l 0-3 -n 4 ...  (EAL probe + PMD launch)
+        self.eal = Eal(self.pci_bus, config.eal)
+        self.eal.register_pmd(INTEL_VENDOR_ID, E1000_DEVICE_ID, E1000Pmd)
+        try:
+            ports = self.eal.probe(self.mempool)
+        except Exception as exc:
+            raise NodeBuildError(
+                f"EAL probe failed on {config.label}: {exc}") from exc
+        self.pmd: E1000Pmd = ports[0]
+        if app_class is not None:
+            self.install_app(app_class, **(app_kwargs or {}))
+
+    def install_app(self, app_class: Type, **kwargs):
+        """Instantiate the DPDK application on this node's core."""
+        if self.app is not None:
+            raise NodeBuildError("node already runs an application")
+        self.app = app_class(self.sim, "app", self.pmd, self.core,
+                             self.config.costs, self.address_space, **kwargs)
+        return self.app
+
+    def install_pipeline_app(self, ring_size: int = 1024,
+                             touch_payload: bool = False):
+        """Instantiate a pipeline-mode application (paper §II.A): the
+        existing core runs the RX stage and a second core (same
+        configuration, shared memory hierarchy) runs the worker stage."""
+        from repro.apps.pipeline import PipelineForwarder
+        from repro.cpu import make_core
+        if self.app is not None:
+            raise NodeBuildError("node already runs an application")
+        self.worker_core = make_core(self.config.core, self.hierarchy)
+        self.worker_core.clock = self.core.clock
+        self.app = PipelineForwarder(
+            self.sim, "app", self.pmd, self.core, self.worker_core,
+            self.config.costs, self.address_space,
+            ring_size=ring_size, touch_payload=touch_payload)
+        return self.app
+
+    def start(self, when: int = 0) -> None:
+        """Begin operation at tick ``when`` (default: now)."""
+        if self.app is None:
+            raise NodeBuildError("no application installed")
+        self.app.start(when)
+
+
+class KernelNode(_BaseNode):
+    """A Test Node running a kernel-stack application."""
+
+    def __init__(self, config: SystemConfig, app_class: Optional[Type] = None,
+                 app_kwargs: Optional[dict] = None, seed: int = 0) -> None:
+        super().__init__(config, seed=seed)
+        self.stack = KernelStackModel(self.address_space, config.costs)
+        self.driver = InterruptNicDriver(self.nic, self.stack)
+        if app_class is not None:
+            self.install_app(app_class, **(app_kwargs or {}))
+
+    def install_app(self, app_class: Type, **kwargs):
+        """Instantiate the kernel-stack application on this node's core."""
+        if self.app is not None:
+            raise NodeBuildError("node already runs an application")
+        self.app = app_class(self.sim, "app", self.driver, self.stack,
+                             self.core, self.config.costs, **kwargs)
+        return self.app
+
+    def _nic_config(self):
+        # Kernel drivers use smaller rings and *do* program the writeback
+        # threshold (so even the baseline NIC model behaves, §III.A.3).
+        return replace(self.config.nic,
+                       rx_ring_size=self.config.kernel_rx_ring,
+                       tx_ring_size=self.config.kernel_rx_ring)
+
+    def start(self, when: int = 0) -> None:
+        """Kernel apps are interrupt-driven; nothing to schedule."""
+
+
+def make_kvstore(node: _BaseNode, n_buckets: int = 4096) -> KvStore:
+    """A KV store in the node's address space."""
+    return KvStore(node.address_space, n_buckets=n_buckets)

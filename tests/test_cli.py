@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nginx"])
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "testpmd",
+                                       "--platform", "firesim"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "testpmd"])
+        assert args.size == 256
+        assert args.gbps == 10.0
+        assert args.platform == "gem5"
+
+
+class TestCommands:
+    def test_apps_lists_registry(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for app in ("testpmd", "touchfwd", "iperf", "memcached_dpdk"):
+            assert app in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "gem5" in out and "altra" in out
+        assert "3GHz" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "testpmd", "--size", "256", "--gbps", "2",
+                     "--packets", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "drop rate" in out
+        assert "mean RTT us" in out
+
+    def test_run_rxptx_with_proc_time(self, capsys):
+        assert main(["run", "rxptx", "--proc-time-ns", "100",
+                     "--gbps", "2", "--packets", "300"]) == 0
+        assert "service Gbps" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "testpmd", "--size", "256",
+                     "--rates", "2,4", "--packets", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "2.00" in out and "4.00" in out
+
+    def test_memcached(self, capsys):
+        assert main(["memcached", "--rps", "100000",
+                     "--requests", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "MemcachedDPDK" in out
+        assert "GET hits/misses" in out
+
+    def test_msb(self, capsys):
+        assert main(["msb", "iperf", "--size", "1518",
+                     "--max-gbps", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "MSB" in out

@@ -1,0 +1,70 @@
+"""Unit tests for work-kernel helpers and cost constants."""
+
+import pytest
+
+from repro.cpu.kernels import KernelCosts, lines_covering, touch_lines
+
+
+class TestLinesCovering:
+    def test_single_line(self):
+        assert lines_covering(0, 1) == [0]
+        assert lines_covering(0, 64) == [0]
+
+    def test_crosses_line_boundary(self):
+        assert lines_covering(60, 8) == [0, 64]
+
+    def test_exact_multi_line(self):
+        assert lines_covering(0, 128) == [0, 64]
+
+    def test_unaligned_base(self):
+        assert lines_covering(100, 64) == [64, 128]
+
+    def test_empty(self):
+        assert lines_covering(0, 0) == []
+        assert lines_covering(0, -5) == []
+
+    def test_1518_byte_frame(self):
+        assert len(lines_covering(0, 1518)) == 24
+
+    def test_custom_line_size(self):
+        assert lines_covering(0, 256, line_size=128) == [0, 128]
+
+
+class TestTouchLines:
+    def test_stride_default(self):
+        assert touch_lines(0, 200) == [0, 64, 128, 192]
+
+    def test_preserves_base_offset(self):
+        assert touch_lines(10, 130) == [10, 74, 138]
+
+    def test_empty(self):
+        assert touch_lines(0, 0) == []
+
+    def test_custom_stride(self):
+        assert touch_lines(0, 256, stride=128) == [0, 128]
+
+
+class TestKernelCosts:
+    def test_defaults_positive(self):
+        costs = KernelCosts()
+        assert costs.pmd_per_packet_cycles > 0
+        assert costs.syscall_cycles > 0
+        assert costs.interrupt_cycles > 0
+
+    def test_kernel_path_dwarfs_dpdk_path(self):
+        """The entire point of userspace networking: the kernel's
+        per-packet overhead is an order of magnitude above the PMD's."""
+        costs = KernelCosts()
+        dpdk = (costs.pmd_per_packet_cycles + costs.mempool_get_put_cycles)
+        kernel = (costs.interrupt_cycles + costs.context_switch_cycles
+                  + costs.softirq_per_packet_cycles + costs.syscall_cycles)
+        assert kernel > 10 * dpdk
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            KernelCosts(kernel_batch_size=0)
+
+    def test_frozen(self):
+        costs = KernelCosts()
+        with pytest.raises(Exception):
+            costs.syscall_cycles = 1

@@ -1,0 +1,62 @@
+"""Documentation consistency: the docs reference things that exist."""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_design_experiment_index_points_at_real_benchmarks():
+    design = (REPO / "DESIGN.md").read_text()
+    for match in re.finditer(r"benchmarks/(test_\w+\.py)", design):
+        assert (REPO / "benchmarks" / match.group(1)).exists(), \
+            f"DESIGN.md references missing {match.group(0)}"
+
+
+def test_design_covers_every_benchmark_file():
+    design = (REPO / "DESIGN.md").read_text()
+    for bench in sorted((REPO / "benchmarks").glob("test_fig*.py")):
+        assert bench.name in design, \
+            f"{bench.name} not listed in DESIGN.md's experiment index"
+
+
+def test_readme_examples_exist():
+    readme = (REPO / "README.md").read_text()
+    for match in re.finditer(r"examples/(\w+\.py)", readme):
+        assert (REPO / "examples" / match.group(1)).exists(), \
+            f"README references missing {match.group(0)}"
+
+
+def test_examples_all_documented_in_readme():
+    readme = (REPO / "README.md").read_text()
+    for example in sorted((REPO / "examples").glob("*.py")):
+        assert example.name in readme, \
+            f"{example.name} not mentioned in README.md"
+
+
+def test_experiments_md_references_real_result_names():
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    bench_sources = "".join(
+        path.read_text() for path in (REPO / "benchmarks").glob("*.py"))
+    for match in re.finditer(r"`(\w+)\.txt`", experiments):
+        name = match.group(1)
+        assert f'save_result("{name}"' in bench_sources, \
+            f"EXPERIMENTS.md references {name}.txt which no benchmark writes"
+
+
+def test_every_paper_figure_has_a_benchmark():
+    names = {path.name for path in (REPO / "benchmarks").glob("*.py")}
+    for fig in range(5, 21):
+        assert any(f"fig{fig:02d}" in name or f"fig{fig}" in name
+                   for name in names), f"no benchmark for Fig {fig}"
+    assert "test_table1_configs.py" in names
+    assert "test_headline_6x.py" in names
+
+
+def test_registered_apps_documented_in_design():
+    from repro.harness.runner import APP_REGISTRY
+    design = (REPO / "DESIGN.md").read_text()
+    for label in ("TestPMD", "TouchFwd", "TouchDrop", "RXpTX",
+                  "MemcachedDPDK", "MemcachedKernel", "iperf"):
+        assert label in design
+    assert len(APP_REGISTRY) == 7

@@ -1,0 +1,91 @@
+"""Unit tests for the EAL vendor-matching story (paper §III.B)."""
+
+import pytest
+
+from repro.dpdk.eal import Eal, EalConfig, EalProbeError
+from repro.pci.bus import PciBus
+from repro.pci.device import PciDevice
+from repro.pci.uio import UioPciGeneric
+
+
+class FakePmd:
+    def __init__(self, device, *args):
+        self.device = device
+        self.args = args
+
+
+def build_bus(bind=True):
+    bus = PciBus()
+    nic = bus.attach("00:02.0", PciDevice(0x8086, 0x100E))
+    if bind:
+        UioPciGeneric().bind(nic)
+    return bus, nic
+
+
+def test_probe_matches_by_vendor_id():
+    bus, nic = build_bus()
+    eal = Eal(bus, EalConfig(vendor_info_missing=False))
+    eal.register_pmd(0x8086, 0x100E, FakePmd)
+    ports = eal.probe()
+    assert len(ports) == 1
+    assert ports[0].device is nic
+
+
+def test_unbound_devices_skipped():
+    bus, _nic = build_bus(bind=False)
+    eal = Eal(bus, EalConfig(vendor_info_missing=False))
+    eal.register_pmd(0x8086, 0x100E, FakePmd)
+    with pytest.raises(EalProbeError):
+        eal.probe()
+
+
+def test_gem5_vendor_info_missing_breaks_unpatched_dpdk():
+    """'Unmodified DPDK cannot fetch the correct vendor ID when running on
+    gem5 and therefore fails to call the proper PMD.'"""
+    bus, _nic = build_bus()
+    eal = Eal(bus, EalConfig(vendor_info_missing=True,
+                             skip_vendor_check=False))
+    eal.register_pmd(0x8086, 0x100E, FakePmd)
+    with pytest.raises(EalProbeError, match="vendor"):
+        eal.probe()
+
+
+def test_skip_vendor_check_patch_force_matches():
+    """The paper's DPDK patch: skip the check, force the PMD."""
+    bus, nic = build_bus()
+    eal = Eal(bus, EalConfig(vendor_info_missing=True,
+                             skip_vendor_check=True))
+    eal.register_pmd(0x8086, 0x100E, FakePmd)
+    ports = eal.probe()
+    assert ports[0].device is nic
+
+
+def test_skip_check_requires_single_pmd():
+    """'If new NIC models are added ... the DPDK framework should be
+    recompiled after hard-coding the PMD' — ambiguous force-match errors."""
+    bus, _nic = build_bus()
+    eal = Eal(bus, EalConfig(vendor_info_missing=True,
+                             skip_vendor_check=True))
+    eal.register_pmd(0x8086, 0x100E, FakePmd)
+    eal.register_pmd(0x15B3, 0x101B, FakePmd)
+    with pytest.raises(EalProbeError, match="exactly one"):
+        eal.probe()
+
+
+def test_probe_passes_args_to_pmd():
+    bus, _nic = build_bus()
+    eal = Eal(bus, EalConfig(vendor_info_missing=False))
+    eal.register_pmd(0x8086, 0x100E, FakePmd)
+    ports = eal.probe("mempool", 42)
+    assert ports[0].args == ("mempool", 42)
+
+
+def test_probe_multiple_devices():
+    bus = PciBus()
+    uio = UioPciGeneric()
+    for slot in ("00:02.0", "00:03.0"):
+        nic = bus.attach(slot, PciDevice(0x8086, 0x100E))
+        uio.bind(nic)
+    eal = Eal(bus, EalConfig(vendor_info_missing=False))
+    eal.register_pmd(0x8086, 0x100E, FakePmd)
+    assert len(eal.probe()) == 2

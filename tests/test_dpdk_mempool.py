@@ -1,0 +1,117 @@
+"""Unit tests for hugepages, mempools and mbufs."""
+
+import pytest
+
+from repro.dpdk.hugepages import HUGEPAGE_SIZE, HugepageAllocator
+from repro.dpdk.mempool import (
+    MBUF_HEADROOM,
+    Mbuf,
+    Mempool,
+    MempoolEmptyError,
+)
+from repro.mem.address import AddressSpace
+
+
+@pytest.fixture
+def hugepages():
+    return HugepageAllocator(AddressSpace(), nr_hugepages=64)
+
+
+class TestHugepages:
+    def test_alignment(self, hugepages):
+        region = hugepages.allocate(100)
+        assert region.base % HUGEPAGE_SIZE == 0
+
+    def test_rounds_up_to_whole_pages(self, hugepages):
+        before = hugepages.free_pages
+        hugepages.allocate(HUGEPAGE_SIZE + 1)
+        assert hugepages.free_pages == before - 2
+
+    def test_exhaustion(self):
+        small = HugepageAllocator(AddressSpace(), nr_hugepages=1)
+        small.allocate(HUGEPAGE_SIZE)
+        with pytest.raises(MemoryError):
+            small.allocate(1)
+
+    def test_regions_disjoint(self, hugepages):
+        a = hugepages.allocate(HUGEPAGE_SIZE)
+        b = hugepages.allocate(HUGEPAGE_SIZE)
+        assert a.end <= b.base or b.end <= a.base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HugepageAllocator(AddressSpace(), nr_hugepages=0)
+
+
+class TestMempool:
+    def test_get_put_cycle(self, hugepages):
+        pool = Mempool("p", hugepages, n_mbufs=4)
+        mbuf = pool.get()
+        assert pool.in_use == 1
+        mbuf.free()
+        assert pool.in_use == 0
+
+    def test_lifo_reuse(self, hugepages):
+        """Most-recently-freed buffer is reallocated first — the cache-hot
+        recycling DPDK's per-lcore mempool cache provides."""
+        pool = Mempool("p", hugepages, n_mbufs=4)
+        a = pool.get()
+        b = pool.get()
+        b.free()
+        a.free()
+        assert pool.get() is a
+        assert pool.get() is b
+
+    def test_exhaustion_raises(self, hugepages):
+        pool = Mempool("p", hugepages, n_mbufs=2)
+        pool.get()
+        pool.get()
+        with pytest.raises(MempoolEmptyError):
+            pool.get()
+
+    def test_try_get_returns_none(self, hugepages):
+        pool = Mempool("p", hugepages, n_mbufs=1)
+        assert pool.try_get() is not None
+        assert pool.try_get() is None
+
+    def test_buffers_distinct_and_spaced(self, hugepages):
+        pool = Mempool("p", hugepages, n_mbufs=8, mbuf_size=2048)
+        addrs = sorted(m.buffer_addr for m in pool._free)
+        assert len(set(addrs)) == 8
+        assert all(b - a == 2048 for a, b in zip(addrs, addrs[1:]))
+
+    def test_data_addr_offset_by_headroom(self, hugepages):
+        pool = Mempool("p", hugepages, n_mbufs=1)
+        mbuf = pool.get()
+        assert mbuf.data_addr == mbuf.buffer_addr + MBUF_HEADROOM
+
+    def test_foreign_mbuf_rejected(self, hugepages):
+        pool_a = Mempool("a", hugepages, n_mbufs=1)
+        pool_b = Mempool("b", hugepages, n_mbufs=1)
+        mbuf = pool_a.get()
+        with pytest.raises(ValueError):
+            pool_b.put(mbuf)
+
+    def test_put_clears_packet_ref(self, hugepages):
+        pool = Mempool("p", hugepages, n_mbufs=1)
+        mbuf = pool.get()
+        mbuf.packet = object()
+        mbuf.free()
+        assert mbuf.packet is None
+
+    def test_high_watermark(self, hugepages):
+        pool = Mempool("p", hugepages, n_mbufs=4)
+        a, b = pool.get(), pool.get()
+        a.free()
+        pool.get()
+        assert pool.high_watermark == 2
+
+    def test_footprint(self, hugepages):
+        pool = Mempool("p", hugepages, n_mbufs=16, mbuf_size=2048)
+        assert pool.footprint_bytes() == 32768
+
+    def test_validation(self, hugepages):
+        with pytest.raises(ValueError):
+            Mempool("p", hugepages, n_mbufs=0)
+        with pytest.raises(ValueError):
+            Mempool("p", hugepages, n_mbufs=1, mbuf_size=64)

@@ -1,0 +1,64 @@
+"""Tests for the lighter experiment-definition functions.
+
+The heavyweight figure functions are exercised by the benchmark suite;
+these tests cover the cheap ones plus the structural contracts the
+benchmarks rely on.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    FIG5_WORKLOADS,
+    SENSITIVITY_APPS,
+    SENSITIVITY_SIZES,
+    headline_speedup,
+    table1_configs,
+)
+
+
+class TestTable1:
+    def test_both_platforms_present(self):
+        rows = table1_configs()
+        assert set(rows) == {"gem5", "altra"}
+
+    def test_paper_parameters_rendered(self):
+        rows = table1_configs()
+        gem5 = rows["gem5"]
+        assert gem5["Core freq"] == "3GHz"
+        assert gem5["Superscalar"] == "4 ways"
+        assert gem5["ROB/IQ entries"] == "128/120"
+        assert gem5["LQ/SQ entries"] == "68/72"
+        assert gem5["BTB entries"] == 8192
+        assert gem5["L1I/L1D"] == "64KB,4/64KB,4"
+        assert gem5["L2"] == "1MB,8 ways"
+        assert gem5["L1I/L1D/L2 latency"] == "1/2/12"
+        assert gem5["Network bandwidth"] == "100Gbps"
+        assert gem5["Network latency"] == "200us"
+
+    def test_dca_row_differs(self):
+        rows = table1_configs()
+        assert rows["gem5"]["DCA/DDIO"] == "enabled"
+        assert rows["altra"]["DCA/DDIO"] == "disabled"
+
+
+class TestExperimentStructure:
+    def test_fig5_covers_all_paper_workloads(self):
+        labels = [label for label, _a, _s, _o in FIG5_WORKLOADS]
+        for prefix in ("TestPMD", "TouchFwd", "TouchDrop", "RXpTX"):
+            assert any(label.startswith(prefix) for label in labels)
+
+    def test_sensitivity_apps_cover_figure_panels(self):
+        keys = [key for key, _l, _c, _o in SENSITIVITY_APPS]
+        assert keys == ["testpmd", "touchfwd", "iperf", "rxptx-10ns",
+                        "rxptx-1us"]
+
+    def test_sensitivity_sizes_match_paper(self):
+        assert SENSITIVITY_SIZES == [128, 256, 512, 1024, 1518]
+
+
+class TestHeadline:
+    def test_headline_speedup(self):
+        result = headline_speedup()
+        assert result["dpdk_gbps"] > result["kernel_gbps"]
+        assert result["speedup"] == pytest.approx(
+            result["dpdk_gbps"] / result["kernel_gbps"])

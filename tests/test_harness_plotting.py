@@ -1,0 +1,65 @@
+"""Unit tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.harness.plotting import MARKERS, ascii_bars, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_renders_title_axes_and_legend(self):
+        text = ascii_plot({"a": [(0, 0), (10, 1)]}, title="T",
+                          x_label="gbps", y_label="drop")
+        assert text.splitlines()[0] == "T"
+        assert "gbps" in text
+        assert "o a" in text
+
+    def test_extremes_land_on_grid_corners(self):
+        text = ascii_plot({"a": [(0, 0), (10, 10)]}, width=20, height=5)
+        lines = text.splitlines()
+        top_row = next(line for line in lines if "|" in line)
+        assert "o" in top_row                      # max lands on top row
+        assert lines[4 + 0].startswith("10".rjust(2)) or "10 |" in text
+
+    def test_multiple_series_distinct_markers(self):
+        text = ascii_plot({"a": [(0, 1)], "b": [(1, 2)]})
+        assert "o a" in text
+        assert "x b" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot({"flat": [(0, 5), (1, 5), (2, 5)]})
+        assert "flat" in text
+
+    def test_single_point(self):
+        assert "o" in ascii_plot({"p": [(3, 4)]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+        with pytest.raises(ValueError):
+            ascii_plot({"a": []})
+
+    def test_marker_cycling_beyond_palette(self):
+        series = {f"s{i}": [(i, i)] for i in range(len(MARKERS) + 2)}
+        text = ascii_plot(series)
+        assert text   # no crash; markers reused
+
+
+class TestAsciiBars:
+    def test_longest_bar_is_peak(self):
+        text = ascii_bars({"small": 1.0, "big": 10.0}, width=10)
+        lines = {line.split("|")[0].strip(): line for line in
+                 text.splitlines()}
+        assert lines["big"].count("#") == 10
+        assert lines["small"].count("#") == 1
+
+    def test_values_printed(self):
+        text = ascii_bars({"a": 2.5})
+        assert "2.5" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+
+    def test_zero_values(self):
+        text = ascii_bars({"z": 0.0})
+        assert "z" in text

@@ -1,0 +1,177 @@
+"""Unit tests for the KV store, protocol framing and Zipfian generator."""
+
+import pytest
+
+from repro.kvstore.protocol import (
+    GetRequest,
+    GetResponse,
+    SetRequest,
+    SetResponse,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.kvstore.store import KvStore
+from repro.kvstore.zipf import ZipfianGenerator
+from repro.mem.address import AddressSpace
+from repro.sim.rng import DeterministicRng
+
+
+class TestProtocol:
+    def test_get_request_round_trip(self):
+        request = GetRequest(request_id=7, key=b"key-1")
+        decoded = decode_request(encode_request(request))
+        assert decoded == request
+
+    def test_set_request_round_trip(self):
+        request = SetRequest(request_id=8, key=b"k", value=b"v" * 50)
+        decoded = decode_request(encode_request(request))
+        assert decoded == request
+
+    def test_get_response_round_trip(self):
+        response = GetResponse(request_id=9, hit=True, value=b"data")
+        decoded = decode_response(encode_response(response))
+        assert decoded == response
+
+    def test_get_miss_response(self):
+        response = GetResponse(request_id=9, hit=False, value=b"")
+        decoded = decode_response(encode_response(response))
+        assert not decoded.hit
+
+    def test_set_response_round_trip(self):
+        response = SetResponse(request_id=10)
+        assert decode_response(encode_response(response)) == response
+
+    def test_request_id_is_16_bit_on_wire(self):
+        request = GetRequest(request_id=0x12345, key=b"k")
+        decoded = decode_request(encode_request(request))
+        assert decoded.request_id == 0x2345
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ValueError):
+            decode_request(b"\x00" * 4)
+
+    def test_body_shorter_than_headers_rejected(self):
+        raw = bytearray(encode_request(
+            SetRequest(request_id=1, key=b"key", value=b"value")))
+        with pytest.raises(ValueError):
+            decode_request(bytes(raw[:-3]))
+
+    def test_unknown_opcode_rejected(self):
+        raw = bytearray(encode_request(GetRequest(request_id=1, key=b"k")))
+        raw[8] = 0x77
+        with pytest.raises(ValueError):
+            decode_request(bytes(raw))
+
+    def test_encode_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            encode_request("not a request")
+
+
+class TestKvStore:
+    @pytest.fixture
+    def store(self):
+        return KvStore(AddressSpace(), n_buckets=64)
+
+    def test_set_then_get(self, store):
+        store.set(b"alpha", b"x" * 30)
+        value, footprint = store.get(b"alpha")
+        assert value == bytes(30)
+        assert footprint.hit
+
+    def test_get_missing(self, store):
+        value, footprint = store.get(b"nope")
+        assert value is None
+        assert not footprint.hit
+        assert store.misses == 1
+
+    def test_update_in_place(self, store):
+        store.set(b"k", b"1")
+        store.set(b"k", b"22")
+        value, _ = store.get(b"k")
+        assert len(value) == 2
+        assert store.size == 1
+
+    def test_lookup_is_dependent_chain(self, store):
+        store.set(b"k", b"v")
+        _value, footprint = store.get(b"k")
+        # Bucket head + entry: at least two dependent loads.
+        assert len(footprint.dependent_reads) >= 2
+
+    def test_chain_grows_on_collisions(self, store):
+        tiny = KvStore(AddressSpace(), n_buckets=1)
+        for i in range(5):
+            tiny.set(f"key{i}".encode(), b"v")
+        _value, footprint = tiny.get(b"key4")
+        assert len(footprint.dependent_reads) == 6   # bucket + 5 entries
+
+    def test_value_lines_cover_value(self, store):
+        store.set(b"k", b"v" * 200)
+        _value, footprint = store.get(b"k")
+        assert len(footprint.value_lines) >= 4
+
+    def test_addresses_in_store_regions(self, store):
+        footprint = store.set(b"k", b"v" * 10)
+        assert store.buckets_region.contains(footprint.dependent_reads[0])
+        assert all(store.values_region.contains(a)
+                   for a in footprint.value_lines)
+
+    def test_hash_is_deterministic(self):
+        a = KvStore(AddressSpace(), n_buckets=64)
+        b = KvStore(AddressSpace(), n_buckets=64)
+        assert a._bucket_index(b"key") == b._bucket_index(b"key")
+
+    def test_counters(self, store):
+        store.set(b"k", b"v")
+        store.get(b"k")
+        store.get(b"missing")
+        assert store.sets == 1
+        assert store.gets == 2
+        assert store.hits == 1
+        assert store.misses == 1
+
+
+class TestZipf:
+    def test_bounds(self):
+        gen = ZipfianGenerator(10, 100, 0.5, DeterministicRng(1))
+        samples = [gen.sample() for _ in range(500)]
+        assert all(10 <= s <= 100 for s in samples)
+
+    def test_skew_favors_small_ranks(self):
+        gen = ZipfianGenerator(1, 100, 1.2, DeterministicRng(1))
+        samples = [gen.sample() for _ in range(3000)]
+        head = sum(1 for s in samples if s <= 10)
+        assert head > len(samples) * 0.5
+
+    def test_zero_skew_is_uniformish(self):
+        gen = ZipfianGenerator(1, 10, 0.0, DeterministicRng(1))
+        samples = [gen.sample() for _ in range(5000)]
+        counts = [samples.count(v) for v in range(1, 11)]
+        assert max(counts) < 2 * min(counts)
+
+    def test_paper_parameters(self):
+        """min=10, max=100, skew=0.5 (paper §VI.A)."""
+        gen = ZipfianGenerator(10, 100, 0.5, DeterministicRng(7))
+        samples = [gen.sample() for _ in range(2000)]
+        assert min(samples) == 10
+        # Mild skew: small values clearly more common than large.
+        small = sum(1 for s in samples if s < 30)
+        large = sum(1 for s in samples if s > 80)
+        assert small > large
+
+    def test_deterministic(self):
+        a = ZipfianGenerator(1, 50, 0.5, DeterministicRng(3))
+        b = ZipfianGenerator(1, 50, 0.5, DeterministicRng(3))
+        assert [a.sample() for _ in range(50)] == \
+            [b.sample() for _ in range(50)]
+
+    def test_head_fraction_monotone(self):
+        gen = ZipfianGenerator(1, 100, 0.8, DeterministicRng(1))
+        assert gen.expected_head_fraction(10) < gen.expected_head_fraction(50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(5, 4, 0.5, DeterministicRng(1))
+        with pytest.raises(ValueError):
+            ZipfianGenerator(1, 10, -0.1, DeterministicRng(1))

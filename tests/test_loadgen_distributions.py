@@ -1,0 +1,73 @@
+"""Unit tests for inter-arrival distributions."""
+
+import pytest
+
+from repro.loadgen.distributions import (
+    ExponentialInterArrival,
+    FixedInterArrival,
+    UniformInterArrival,
+    make_inter_arrival,
+)
+from repro.sim.rng import DeterministicRng
+from repro.sim.ticks import TICKS_PER_SEC
+
+
+class TestFixed:
+    def test_exact_long_run_rate(self):
+        gen = FixedInterArrival(3e6)   # 3 Mpps: gap is fractional ticks
+        total = sum(gen.next_gap_ticks() for _ in range(30000))
+        achieved = 30000 / (total / TICKS_PER_SEC)
+        assert achieved == pytest.approx(3e6, rel=1e-4)
+
+    def test_gaps_near_mean(self):
+        gen = FixedInterArrival(1e6)
+        gaps = [gen.next_gap_ticks() for _ in range(100)]
+        assert all(abs(g - 1_000_000) <= 1 for g in gaps)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedInterArrival(0)
+
+
+class TestExponential:
+    def test_mean_rate(self):
+        gen = ExponentialInterArrival(1e6, DeterministicRng(1))
+        gaps = [gen.next_gap_ticks() for _ in range(20000)]
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(1_000_000, rel=0.05)
+
+    def test_gaps_vary(self):
+        gen = ExponentialInterArrival(1e6, DeterministicRng(1))
+        gaps = {gen.next_gap_ticks() for _ in range(100)}
+        assert len(gaps) > 50
+
+    def test_gaps_positive(self):
+        gen = ExponentialInterArrival(1e9, DeterministicRng(1))
+        assert all(gen.next_gap_ticks() >= 1 for _ in range(1000))
+
+
+class TestUniform:
+    def test_bounds(self):
+        gen = UniformInterArrival(1e6, DeterministicRng(1), jitter=0.5)
+        for _ in range(1000):
+            gap = gen.next_gap_ticks()
+            assert 500_000 <= gap <= 1_500_000
+
+    def test_jitter_validated(self):
+        with pytest.raises(ValueError):
+            UniformInterArrival(1e6, DeterministicRng(1), jitter=1.5)
+
+
+class TestFactory:
+    def test_all_kinds(self):
+        rng = DeterministicRng(1)
+        assert isinstance(make_inter_arrival("fixed", 1e6, rng),
+                          FixedInterArrival)
+        assert isinstance(make_inter_arrival("exponential", 1e6, rng),
+                          ExponentialInterArrival)
+        assert isinstance(make_inter_arrival("uniform", 1e6, rng),
+                          UniformInterArrival)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_inter_arrival("pareto", 1e6, DeterministicRng(1))

@@ -1,0 +1,71 @@
+"""Unit tests for the address space allocator."""
+
+import pytest
+
+from repro.mem.address import AddressSpace, Region
+
+
+class TestRegion:
+    def test_end(self):
+        region = Region("r", base=0x1000, size=0x100)
+        assert region.end == 0x1100
+
+    def test_addr_bounds_checked(self):
+        region = Region("r", base=0x1000, size=0x100)
+        assert region.addr(0) == 0x1000
+        assert region.addr(0xFF) == 0x10FF
+        with pytest.raises(ValueError):
+            region.addr(0x100)
+        with pytest.raises(ValueError):
+            region.addr(-1)
+
+    def test_wrap_addr_cycles(self):
+        region = Region("r", base=0x1000, size=0x100)
+        assert region.wrap_addr(0x100) == 0x1000
+        assert region.wrap_addr(0x1F0) == 0x10F0
+
+    def test_contains(self):
+        region = Region("r", base=0x1000, size=0x100)
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+        assert not region.contains(0xFFF)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Region("r", base=0, size=0)
+        with pytest.raises(ValueError):
+            Region("r", base=-1, size=4)
+
+
+class TestAddressSpace:
+    def test_regions_do_not_overlap(self):
+        space = AddressSpace()
+        a = space.allocate("a", 1000)
+        b = space.allocate("b", 1000)
+        assert a.end <= b.base
+
+    def test_alignment(self):
+        space = AddressSpace(alignment=4096)
+        a = space.allocate("a", 100)
+        b = space.allocate("b", 100)
+        assert a.base % 4096 == 0
+        assert b.base % 4096 == 0
+
+    def test_custom_alignment(self):
+        space = AddressSpace()
+        region = space.allocate("huge", 100, alignment=2 * 1024 * 1024)
+        assert region.base % (2 * 1024 * 1024) == 0
+
+    def test_duplicate_names_rejected(self):
+        space = AddressSpace()
+        space.allocate("a", 100)
+        with pytest.raises(ValueError):
+            space.allocate("a", 100)
+
+    def test_lookup_by_name(self):
+        space = AddressSpace()
+        region = space.allocate("a", 100)
+        assert space.region("a") is region
+        assert "a" in space
+        assert "b" not in space

@@ -1,0 +1,155 @@
+"""Unit tests for the set-associative cache."""
+
+import pytest
+
+from repro.mem.cache import CacheConfig, IO_PARTITION, SetAssocCache
+
+
+def make_cache(size=4096, assoc=4, line=64, io_ways=0):
+    return SetAssocCache(CacheConfig(
+        name="c", size=size, assoc=assoc, latency_cycles=1,
+        line_size=line, reserved_io_ways=io_ways))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cfg = CacheConfig(name="c", size=4096, assoc=4, latency_cycles=1)
+        assert cfg.num_sets == 16
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="c", size=4000, assoc=4, latency_cycles=1)
+
+    def test_io_ways_bounded(self):
+        with pytest.raises(ValueError):
+            CacheConfig(name="c", size=4096, assoc=4, latency_cycles=1,
+                        reserved_io_ways=4)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            make_cache(size=4096 // 64 * 60, line=60)
+
+    def test_line_addr(self):
+        cache = make_cache()
+        assert cache.line_addr(0x1234) == 0x1200
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.lookup(0x1000)
+        cache.insert(0x1000)
+        assert cache.lookup(0x1000)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache = make_cache()
+        cache.insert(0x1000)
+        assert cache.lookup(0x103F)
+
+    def test_lru_eviction_order(self):
+        cache = make_cache(size=256, assoc=4, line=64)   # one set
+        for i in range(4):
+            cache.insert(i * 64)
+        cache.lookup(0)          # refresh line 0
+        evicted = cache.insert(4 * 64)
+        assert evicted == 64     # line 1 was the least recently used
+
+    def test_insert_existing_refreshes_lru(self):
+        cache = make_cache(size=256, assoc=4, line=64)
+        for i in range(4):
+            cache.insert(i * 64)
+        cache.insert(0)          # refresh by reinsertion
+        evicted = cache.insert(4 * 64)
+        assert evicted == 64
+
+    def test_eviction_returns_line_address(self):
+        cache = make_cache(size=128, assoc=2, line=64)   # one set
+        cache.insert(0)
+        cache.insert(64)
+        assert cache.insert(128) == 0
+
+    def test_occupancy(self):
+        cache = make_cache()
+        for i in range(10):
+            cache.insert(i * 64)
+        assert cache.occupancy() == 10
+
+    def test_contains_does_not_touch_counters(self):
+        cache = make_cache()
+        cache.insert(0x40)
+        hits, misses = cache.hits, cache.misses
+        assert cache.contains(0x40)
+        assert not cache.contains(0x4000)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.insert(0x40)
+        assert cache.invalidate(0x40)
+        assert not cache.contains(0x40)
+        assert not cache.invalidate(0x40)
+
+    def test_flush_keeps_counters(self):
+        cache = make_cache()
+        cache.insert(0x40)
+        cache.lookup(0x40)
+        cache.flush()
+        assert cache.occupancy() == 0
+        assert cache.hits == 1
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.lookup(0)      # miss
+        cache.insert(0)
+        cache.lookup(0)      # hit
+        assert cache.miss_rate == pytest.approx(0.5)
+
+
+class TestIoPartition:
+    def test_io_lines_capped_at_reserved_ways(self):
+        cache = make_cache(size=512, assoc=8, line=64, io_ways=2)  # one set
+        evictions = [cache.insert(i * 64, partition=IO_PARTITION)
+                     for i in range(4)]
+        # Only 2 io ways: the third and fourth insert evict io lines.
+        assert evictions[0] is None and evictions[1] is None
+        assert evictions[2] == 0
+        assert evictions[3] == 64
+
+    def test_io_does_not_evict_core_lines(self):
+        cache = make_cache(size=512, assoc=8, line=64, io_ways=2)
+        for i in range(6):
+            cache.insert((100 + i) * 64)            # fill core ways
+        cache.insert(0, partition=IO_PARTITION)
+        cache.insert(64, partition=IO_PARTITION)
+        cache.insert(128, partition=IO_PARTITION)   # evicts io line 0
+        for i in range(6):
+            assert cache.contains((100 + i) * 64)
+
+    def test_core_does_not_evict_io_lines(self):
+        cache = make_cache(size=512, assoc=8, line=64, io_ways=2)
+        cache.insert(0, partition=IO_PARTITION)
+        for i in range(10):
+            cache.insert((100 + i) * 64)
+        assert cache.contains(0)
+
+    def test_lookup_hits_io_partition(self):
+        cache = make_cache(size=512, assoc=8, line=64, io_ways=2)
+        cache.insert(0, partition=IO_PARTITION)
+        assert cache.lookup(0)
+
+    def test_line_migrates_between_partitions(self):
+        cache = make_cache(size=512, assoc=8, line=64, io_ways=2)
+        cache.insert(0)
+        cache.insert(0, partition=IO_PARTITION)
+        # Exactly one copy: filling the io partition twice evicts it.
+        cache.insert(64, partition=IO_PARTITION)
+        evicted = cache.insert(128, partition=IO_PARTITION)
+        assert evicted == 0
+
+    def test_invalidate_io_line(self):
+        cache = make_cache(size=512, assoc=8, line=64, io_ways=2)
+        cache.insert(0, partition=IO_PARTITION)
+        assert cache.invalidate(0)
+        assert not cache.contains(0)

@@ -1,0 +1,159 @@
+"""Unit tests for the memory hierarchy (inclusion, DCA, DMA paths)."""
+
+import pytest
+
+from repro.mem.cache import CacheConfig
+from repro.mem.dram import DramConfig
+from repro.mem.hierarchy import (
+    HierarchyConfig,
+    LEVEL_DRAM,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_LLC,
+    MemoryHierarchy,
+)
+
+
+def tiny_hierarchy(dca_ways=4):
+    """Small caches so capacity effects are easy to trigger."""
+    return MemoryHierarchy(HierarchyConfig(
+        l1i=CacheConfig(name="l1i", size=1024, assoc=2, latency_cycles=1),
+        l1d=CacheConfig(name="l1d", size=1024, assoc=2, latency_cycles=2),
+        l2=CacheConfig(name="l2", size=4096, assoc=4, latency_cycles=12),
+        llc=CacheConfig(name="llc", size=16384, assoc=8, latency_cycles=30,
+                        reserved_io_ways=dca_ways),
+        dram=DramConfig(),
+    ))
+
+
+class TestCorePath:
+    def test_cold_access_goes_to_dram(self):
+        hier = tiny_hierarchy()
+        result = hier.core_access(0x1000)
+        assert result.level == LEVEL_DRAM
+        assert result.dram_ns > 0
+
+    def test_second_access_hits_l1(self):
+        hier = tiny_hierarchy()
+        hier.core_access(0x1000)
+        result = hier.core_access(0x1000)
+        assert result.level == LEVEL_L1
+        assert result.dram_ns == 0
+        assert result.cycles == 2   # L1D latency
+
+    def test_instruction_accesses_use_l1i(self):
+        hier = tiny_hierarchy()
+        hier.core_access(0x1000, is_instr=True)
+        assert hier.core_access(0x1000, is_instr=True).level == LEVEL_L1
+        assert hier.l1i.hits == 1
+        assert hier.l1d.hits == 0
+
+    def test_l1_eviction_leaves_l2_copy(self):
+        hier = tiny_hierarchy()
+        # L1D: 1KiB, 2-way, 8 sets.  Fill one set beyond capacity.
+        base = 0x0
+        set_stride = 8 * 64   # lines mapping to the same L1 set
+        for i in range(3):
+            hier.core_access(base + i * set_stride)
+        # The first line fell out of L1 but not out of L2.
+        result = hier.core_access(base)
+        assert result.level == LEVEL_L2
+
+    def test_latency_accumulates_down_the_hierarchy(self):
+        hier = tiny_hierarchy()
+        dram = hier.core_access(0x2000)
+        l1 = hier.core_access(0x2000)
+        assert dram.cycles > l1.cycles
+
+    def test_l2_eviction_back_invalidates_l1(self):
+        hier = tiny_hierarchy()
+        # L2: 4KiB 4-way, 16 sets; same-set stride = 16*64.
+        stride = 16 * 64
+        hier.core_access(0x0)
+        for i in range(1, 5):
+            hier.core_access(i * stride)   # evicts line 0 from L2
+        assert not hier.l2.contains(0x0)
+        assert not hier.l1d.contains(0x0)   # inclusion maintained
+
+
+class TestDmaPath:
+    def test_dca_write_lands_in_llc(self):
+        hier = tiny_hierarchy(dca_ways=4)
+        hier.dma_write_line(0x3000)
+        assert hier.llc.contains(0x3000)
+
+    def test_dca_write_is_fast(self):
+        hier = tiny_hierarchy(dca_ways=4)
+        assert hier.dma_write_line(0x3000) == \
+            hier.config.llc_ns_for_dma
+
+    def test_core_read_after_dca_write_hits_llc(self):
+        hier = tiny_hierarchy(dca_ways=4)
+        hier.dma_write_line(0x3000)
+        assert hier.core_access(0x3000).level == LEVEL_LLC
+
+    def test_no_dca_write_goes_to_dram(self):
+        hier = tiny_hierarchy(dca_ways=0)
+        latency = hier.dma_write_line(0x3000)
+        assert not hier.llc.contains(0x3000)
+        assert latency > hier.config.llc_ns_for_dma
+
+    def test_dma_write_invalidates_stale_core_copies(self):
+        hier = tiny_hierarchy(dca_ways=4)
+        hier.core_access(0x3000)
+        hier.dma_write_line(0x3000)
+        assert not hier.l1d.contains(0x3000)
+        assert not hier.l2.contains(0x3000)
+
+    def test_dma_leak_counted(self):
+        hier = tiny_hierarchy(dca_ways=4)
+        # io partition: 8 ways llc, 4 io ways, 32 sets -> 128 io lines.
+        capacity_lines = 4 * (16384 // (8 * 64))
+        for i in range(capacity_lines + 10):
+            hier.dma_write_line(i * 64)
+        assert hier.dma_leaked_lines == 10
+
+    def test_dma_read_hits_llc_resident_line(self):
+        hier = tiny_hierarchy(dca_ways=4)
+        hier.dma_write_line(0x4000)
+        latency = hier.dma_read_line(0x4000)
+        assert latency == hier.config.llc_ns_for_dma
+        assert hier.dma_llc_hits == 1
+
+    def test_dma_read_of_cold_line_goes_to_dram(self):
+        hier = tiny_hierarchy(dca_ways=4)
+        latency = hier.dma_read_line(0x5000)
+        assert latency > hier.config.llc_ns_for_dma
+
+    def test_counters(self):
+        hier = tiny_hierarchy()
+        hier.dma_write_line(0)
+        hier.dma_read_line(0)
+        assert hier.dma_lines_written == 1
+        assert hier.dma_lines_read == 1
+
+    def test_reset_counters(self):
+        hier = tiny_hierarchy()
+        hier.dma_write_line(0)
+        hier.core_access(0x100)
+        hier.reset_counters()
+        assert hier.dma_lines_written == 0
+        assert hier.llc.misses == 0
+
+
+class TestConfig:
+    def test_dca_enabled_flag(self):
+        assert tiny_hierarchy(dca_ways=4).config.dca_enabled
+        assert not tiny_hierarchy(dca_ways=0).config.dca_enabled
+
+    def test_default_config_matches_table1(self):
+        config = HierarchyConfig()
+        assert config.l1i.size == 64 * 1024
+        assert config.l1d.size == 64 * 1024
+        assert config.l2.size == 1024 * 1024
+        assert config.l1i.latency_cycles == 1
+        assert config.l1d.latency_cycles == 2
+        assert config.l2.latency_cycles == 12
+        assert config.l1i.mshrs == 2
+        assert config.l1d.mshrs == 6
+        assert config.l2.mshrs == 16

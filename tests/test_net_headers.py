@@ -1,0 +1,96 @@
+"""Unit tests for IPv4/UDP header encoding."""
+
+import pytest
+
+from repro.net.headers import (
+    Ipv4Header,
+    UdpHeader,
+    build_udp_frame,
+    internet_checksum,
+    parse_udp_frame,
+)
+from repro.net.packet import MacAddress, Packet
+
+SRC_MAC = MacAddress.parse("02:00:00:00:00:01")
+DST_MAC = MacAddress.parse("02:00:00:00:00:02")
+
+
+def test_checksum_of_checksummed_header_is_zero():
+    header = Ipv4Header(src_ip=0x0A000001, dst_ip=0x0A000002,
+                        total_length=40).to_bytes()
+    assert internet_checksum(header) == 0
+
+
+def test_ipv4_round_trip():
+    header = Ipv4Header(src_ip=0x0A000001, dst_ip=0x0A000002,
+                        total_length=60, ttl=17, identification=99)
+    parsed = Ipv4Header.from_bytes(header.to_bytes())
+    assert parsed.src_ip == 0x0A000001
+    assert parsed.dst_ip == 0x0A000002
+    assert parsed.total_length == 60
+    assert parsed.ttl == 17
+    assert parsed.identification == 99
+
+
+def test_ipv4_corruption_detected():
+    raw = bytearray(Ipv4Header(src_ip=1, dst_ip=2,
+                               total_length=40).to_bytes())
+    raw[8] ^= 0xFF   # flip TTL bits
+    with pytest.raises(ValueError):
+        Ipv4Header.from_bytes(bytes(raw))
+
+
+def test_ipv4_truncated_rejected():
+    with pytest.raises(ValueError):
+        Ipv4Header.from_bytes(b"\x45\x00")
+
+
+def test_udp_round_trip():
+    header = UdpHeader(src_port=40000, dst_port=11211, length=28)
+    parsed = UdpHeader.from_bytes(header.to_bytes())
+    assert parsed.src_port == 40000
+    assert parsed.dst_port == 11211
+    assert parsed.length == 28
+
+
+def test_build_parse_udp_frame_round_trip():
+    payload = b"GET key-000001"
+    packet = build_udp_frame(SRC_MAC, DST_MAC, 0x0A000001, 0x0A000002,
+                             40000, 11211, payload)
+    ip, udp, parsed_payload = parse_udp_frame(packet)
+    assert parsed_payload == payload
+    assert ip.src_ip == 0x0A000001
+    assert udp.dst_port == 11211
+
+
+def test_build_udp_frame_wire_len():
+    payload = b"x" * 100
+    packet = build_udp_frame(SRC_MAC, DST_MAC, 1, 2, 3, 4, payload)
+    # 14 (eth) + 20 (ip) + 8 (udp) + 100 + 4 (crc)
+    assert packet.wire_len == 146
+
+
+def test_small_payload_pads_to_min_frame():
+    packet = build_udp_frame(SRC_MAC, DST_MAC, 1, 2, 3, 4, b"x")
+    assert packet.wire_len == 64
+
+
+def test_parse_rejects_non_ipv4():
+    packet = Packet(wire_len=64, data=b"\x00" * 46)   # experimental type
+    with pytest.raises(ValueError):
+        parse_udp_frame(packet)
+
+
+def test_parse_rejects_missing_payload():
+    packet = Packet(wire_len=64, ethertype=0x0800, data=None)
+    with pytest.raises(ValueError):
+        parse_udp_frame(packet)
+
+
+def test_udp_length_field_bounds_payload():
+    payload = b"abcdef"
+    packet = build_udp_frame(SRC_MAC, DST_MAC, 1, 2, 3, 4, payload)
+    # Extend the data with trailing garbage; parse must honor udp.length.
+    packet.data = packet.data + b"junk"
+    _ip, _udp, parsed = parse_udp_frame(packet)
+    assert parsed == payload

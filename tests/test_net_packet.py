@@ -1,0 +1,100 @@
+"""Unit tests for Ethernet frames and MAC addresses."""
+
+import pytest
+
+from repro.net.packet import (
+    ETHER_MAX_FRAME,
+    ETHER_MIN_FRAME,
+    ETHERTYPE_IPV4,
+    MacAddress,
+    Packet,
+)
+
+
+class TestMacAddress:
+    def test_parse_and_str_round_trip(self):
+        mac = MacAddress.parse("02:00:00:00:00:2a")
+        assert str(mac) == "02:00:00:00:00:2a"
+
+    def test_bytes_round_trip(self):
+        mac = MacAddress.parse("aa:bb:cc:dd:ee:ff")
+        assert MacAddress.from_bytes(mac.to_bytes()) == mac
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            MacAddress.parse("aa:bb:cc")
+
+    def test_value_range_checked(self):
+        with pytest.raises(ValueError):
+            MacAddress(1 << 48)
+        with pytest.raises(ValueError):
+            MacAddress(-1)
+
+
+class TestPacket:
+    def test_wire_len_bounds(self):
+        with pytest.raises(ValueError):
+            Packet(wire_len=ETHER_MIN_FRAME - 1)
+        with pytest.raises(ValueError):
+            Packet(wire_len=ETHER_MAX_FRAME + 1)
+
+    def test_payload_len(self):
+        packet = Packet(wire_len=64)
+        assert packet.payload_len == 64 - 14 - 4
+
+    def test_unique_packet_ids(self):
+        a, b = Packet(wire_len=64), Packet(wire_len=64)
+        assert a.packet_id != b.packet_id
+
+    def test_response_swaps_macs(self):
+        src = MacAddress.parse("02:00:00:00:00:01")
+        dst = MacAddress.parse("02:00:00:00:00:02")
+        packet = Packet(wire_len=128, src=src, dst=dst)
+        response = packet.response_to()
+        assert response.src == dst
+        assert response.dst == src
+
+    def test_response_echoes_timestamp_and_id(self):
+        packet = Packet(wire_len=128, ts_tx=12345, request_id=9)
+        response = packet.response_to()
+        assert response.ts_tx == 12345
+        assert response.request_id == 9
+
+    def test_response_copies_meta(self):
+        packet = Packet(wire_len=128)
+        packet.meta["epoch"] = 3
+        response = packet.response_to()
+        assert response.meta["epoch"] == 3
+        response.meta["epoch"] = 4
+        assert packet.meta["epoch"] == 3   # a copy, not an alias
+
+    def test_response_can_resize(self):
+        packet = Packet(wire_len=1518)
+        assert packet.response_to(wire_len=64).wire_len == 64
+
+    def test_serialize_parse_round_trip(self):
+        src = MacAddress.parse("02:00:00:00:00:01")
+        dst = MacAddress.parse("02:00:00:00:00:02")
+        packet = Packet(wire_len=256, src=src, dst=dst,
+                        ethertype=ETHERTYPE_IPV4, data=b"hello" * 10)
+        raw = packet.to_bytes()
+        parsed = Packet.from_bytes(raw)
+        assert parsed.src == src
+        assert parsed.dst == dst
+        assert parsed.ethertype == ETHERTYPE_IPV4
+        assert parsed.data[:50] == b"hello" * 10
+
+    def test_timestamp_embedded_at_offset(self):
+        packet = Packet(wire_len=128, ts_tx=0xDEADBEEF, ts_offset=8)
+        raw = packet.to_bytes()
+        parsed = Packet.from_bytes(raw, has_timestamp=True, ts_offset=8)
+        assert parsed.ts_tx == 0xDEADBEEF
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ValueError):
+            Packet.from_bytes(b"\x00" * 10)
+
+    def test_to_bytes_without_payload_synthesizes(self):
+        packet = Packet(wire_len=64)
+        raw = packet.to_bytes()
+        assert len(raw) == 64 - 4   # CRC not serialized

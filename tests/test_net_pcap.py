@@ -1,0 +1,114 @@
+"""Unit tests for the PCAP reader/writer."""
+
+import struct
+
+import pytest
+
+from repro.net.pcap import (
+    LINKTYPE_ETHERNET,
+    PCAP_MAGIC_US,
+    PcapReader,
+    PcapRecord,
+    PcapWriter,
+)
+
+
+def test_write_read_round_trip(tmp_path):
+    path = tmp_path / "t.pcap"
+    frames = [(1000, b"\x01" * 64), (2500, b"\x02" * 128),
+              (9999, b"\x03" * 1514)]
+    with PcapWriter(path) as writer:
+        for ts, data in frames:
+            writer.write(ts, data)
+    records = PcapReader(path).read_all()
+    assert [(r.ts_ns, r.data) for r in records] == frames
+
+
+def test_header_fields(tmp_path):
+    path = tmp_path / "t.pcap"
+    with PcapWriter(path) as writer:
+        writer.write(0, b"\x00" * 64)
+    reader = PcapReader(path)
+    assert reader.linktype == LINKTYPE_ETHERNET
+    assert reader.version_major == 2
+    assert reader.version_minor == 4
+
+
+def test_timestamps_preserve_ns_resolution(tmp_path):
+    path = tmp_path / "t.pcap"
+    with PcapWriter(path) as writer:
+        writer.write(1_234_567_891, b"\x00" * 64)   # 1.234... seconds
+    record = PcapReader(path).read_all()[0]
+    assert record.ts_ns == 1_234_567_891
+
+
+def test_snaplen_truncates(tmp_path):
+    path = tmp_path / "t.pcap"
+    with PcapWriter(path, snaplen=100) as writer:
+        writer.write(0, b"\xab" * 500)
+    record = PcapReader(path).read_all()[0]
+    assert len(record.data) == 100
+
+
+def test_reads_microsecond_big_endian_files(tmp_path):
+    """tcpdump on a big-endian host writes >-ordered us-resolution files."""
+    path = tmp_path / "be.pcap"
+    data = b"\x11" * 60
+    header = struct.pack(">IHHiIII", PCAP_MAGIC_US, 2, 4, 0, 0, 65535,
+                         LINKTYPE_ETHERNET)
+    record = struct.pack(">IIII", 1, 500, len(data), len(data)) + data
+    path.write_bytes(header + record)
+    records = PcapReader(path).read_all()
+    assert records[0].ts_ns == 1 * 10**9 + 500 * 1000
+    assert records[0].data == data
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bad.pcap"
+    path.write_bytes(b"\x00" * 64)
+    with pytest.raises(ValueError):
+        PcapReader(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "short.pcap"
+    path.write_bytes(b"\xd4\xc3\xb2\xa1")
+    with pytest.raises(ValueError):
+        PcapReader(path)
+
+
+def test_truncated_record_rejected(tmp_path):
+    path = tmp_path / "trunc.pcap"
+    with PcapWriter(path) as writer:
+        writer.write(0, b"\x00" * 64)
+    raw = path.read_bytes()
+    path.write_bytes(raw[:-10])
+    with pytest.raises(ValueError):
+        PcapReader(path).read_all()
+
+
+def test_write_after_close_rejected(tmp_path):
+    path = tmp_path / "t.pcap"
+    writer = PcapWriter(path)
+    writer.close()
+    with pytest.raises(ValueError):
+        writer.write(0, b"\x00" * 64)
+
+
+def test_records_written_counter(tmp_path):
+    path = tmp_path / "t.pcap"
+    with PcapWriter(path) as writer:
+        for _ in range(7):
+            writer.write(0, b"\x00" * 64)
+        assert writer.records_written == 7
+
+
+def test_empty_capture(tmp_path):
+    path = tmp_path / "empty.pcap"
+    PcapWriter(path).close()
+    assert PcapReader(path).read_all() == []
+
+
+def test_record_wire_len(tmp_path):
+    record = PcapRecord(ts_ns=0, data=b"\x00" * 123)
+    assert record.wire_len == 123

@@ -1,0 +1,92 @@
+"""Unit tests for the Fig 4 drop-classification FSM."""
+
+import pytest
+
+from repro.nic.drop_fsm import DropCause, DropClassifier
+
+
+@pytest.fixture
+def fsm():
+    return DropClassifier()
+
+
+def test_initial_state_is_balanced(fsm):
+    assert fsm.state == (False, False, False)
+    assert fsm.total_drops == 0
+
+
+def test_dma_drop_state_10x(fsm):
+    """RX FIFO full, RX ring not full: the DMA engine is behind."""
+    fsm.on_packet_rx(True, False, False, dropped=True)
+    assert fsm.counts[DropCause.DMA] == 1
+    # 'x' is don't-care: TX ring state does not matter.
+    fsm.on_packet_rx(True, False, True, dropped=True)
+    assert fsm.counts[DropCause.DMA] == 2
+
+
+def test_core_drop_state_110(fsm):
+    """RX FIFO + RX ring full, TX ring not: the core is behind."""
+    fsm.on_packet_rx(True, True, False, dropped=True)
+    assert fsm.counts[DropCause.CORE] == 1
+
+
+def test_tx_drop_state_111(fsm):
+    """Everything full: TX DMA reads are the root cause."""
+    fsm.on_packet_rx(True, True, True, dropped=True)
+    assert fsm.counts[DropCause.TX] == 1
+
+
+def test_intermediate_states_do_not_drop(fsm):
+    """Blue states: rings full but FIFO still has room."""
+    for rx_ring, tx_ring in ((True, False), (False, True), (True, True)):
+        fsm.on_packet_rx(False, rx_ring, tx_ring, dropped=False)
+    assert fsm.total_drops == 0
+
+
+def test_recovery_to_proper_intermediate_state(fsm):
+    """Gray -> proper intermediate when the FIFO is no longer full."""
+    fsm.on_packet_rx(True, True, False, dropped=True)
+    state = fsm.on_packet_rx(False, True, False, dropped=False)
+    assert state == (False, True, False)
+    assert fsm.total_drops == 1
+
+
+def test_classify_requires_full_fifo(fsm):
+    with pytest.raises(ValueError):
+        DropClassifier.classify((False, True, True))
+
+
+def test_breakdown_fractions(fsm):
+    fsm.on_packet_rx(True, False, False, dropped=True)
+    fsm.on_packet_rx(True, False, False, dropped=True)
+    fsm.on_packet_rx(True, True, False, dropped=True)
+    fsm.on_packet_rx(True, True, True, dropped=True)
+    breakdown = fsm.breakdown()
+    assert breakdown["DmaDrop"] == pytest.approx(0.5)
+    assert breakdown["CoreDrop"] == pytest.approx(0.25)
+    assert breakdown["TxDrop"] == pytest.approx(0.25)
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+
+
+def test_breakdown_empty_is_zeroes(fsm):
+    assert set(fsm.breakdown().values()) == {0.0}
+
+
+def test_transitions_counted_per_rx(fsm):
+    for _ in range(5):
+        fsm.on_packet_rx(False, False, False, dropped=False)
+    assert fsm.transitions == 5
+
+
+def test_reset(fsm):
+    fsm.on_packet_rx(True, False, False, dropped=True)
+    fsm.reset()
+    assert fsm.total_drops == 0
+    assert fsm.transitions == 0
+
+
+def test_state_tracks_last_rx(fsm):
+    fsm.on_packet_rx(False, True, False, dropped=False)
+    assert fsm.state == (False, True, False)
+    fsm.on_packet_rx(True, True, True, dropped=True)
+    assert fsm.state == (True, True, True)

@@ -1,0 +1,84 @@
+"""Unit tests for the NIC byte FIFO."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.nic.fifo import PacketByteFifo
+
+
+def pkt(size=64):
+    return Packet(wire_len=size)
+
+
+def test_enqueue_dequeue_order():
+    fifo = PacketByteFifo(4096)
+    a, b = pkt(64), pkt(128)
+    assert fifo.try_enqueue(a)
+    assert fifo.try_enqueue(b)
+    assert fifo.dequeue() is a
+    assert fifo.dequeue() is b
+
+
+def test_byte_occupancy():
+    fifo = PacketByteFifo(4096)
+    fifo.try_enqueue(pkt(100))
+    fifo.try_enqueue(pkt(200))
+    assert fifo.occupancy_bytes == 300
+    assert fifo.free_bytes == 4096 - 300
+    fifo.dequeue()
+    assert fifo.occupancy_bytes == 200
+
+
+def test_rejects_when_full():
+    fifo = PacketByteFifo(128)
+    assert fifo.try_enqueue(pkt(128))
+    assert not fifo.try_enqueue(pkt(64))
+    assert fifo.rejected == 1
+
+
+def test_partial_room_rejects_large_packet():
+    fifo = PacketByteFifo(1600)
+    fifo.try_enqueue(pkt(1518))
+    assert not fifo.try_enqueue(pkt(128))
+    assert fifo.try_enqueue(pkt(64))    # smaller frame still fits
+
+
+def test_full_for_min_frame():
+    fifo = PacketByteFifo(128)
+    assert not fifo.full_for_min_frame
+    fifo.try_enqueue(pkt(128))
+    assert fifo.full_for_min_frame
+
+
+def test_dequeue_empty_raises():
+    with pytest.raises(IndexError):
+        PacketByteFifo(128).dequeue()
+
+
+def test_peek_does_not_remove():
+    fifo = PacketByteFifo(4096)
+    a = pkt()
+    fifo.try_enqueue(a)
+    assert fifo.peek() is a
+    assert len(fifo) == 1
+
+
+def test_counters():
+    fifo = PacketByteFifo(4096)
+    fifo.try_enqueue(pkt())
+    fifo.dequeue()
+    assert fifo.enqueued == 1
+    assert fifo.dequeued == 1
+
+
+def test_clear():
+    fifo = PacketByteFifo(4096)
+    fifo.try_enqueue(pkt())
+    fifo.clear()
+    assert len(fifo) == 0
+    assert fifo.occupancy_bytes == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        PacketByteFifo(0)

@@ -1,0 +1,130 @@
+"""Integration tests pinning the paper's qualitative claims.
+
+These are slower than unit tests (each builds and loads full nodes) but
+each one checks a *shape* the reproduction must preserve.  The benchmark
+suite regenerates the quantitative tables; these tests guard the
+directions and orderings.
+"""
+
+import pytest
+
+from repro.harness.msb import find_msb
+from repro.harness.runner import run_fixed_load, run_memcached
+from repro.system.presets import (
+    gem5_default,
+    with_core,
+    with_dca,
+    with_frequency,
+)
+
+CFG = gem5_default()
+
+
+@pytest.fixture(scope="module")
+def testpmd_1518_msb():
+    return find_msb(CFG, "testpmd", 1518).msb_gbps
+
+
+@pytest.fixture(scope="module")
+def iperf_1518_msb():
+    return find_msb(CFG, "iperf", 1518, max_gbps=16.0).msb_gbps
+
+
+class TestHeadline:
+    def test_dpdk_multiplies_kernel_bandwidth(self, testpmd_1518_msb,
+                                              iperf_1518_msb):
+        """Abstract: 'enabling userspace networking improves gem5's
+        network bandwidth by 6.3x compared with the current Linux kernel
+        software stack.'  We require at least 4x and the right order of
+        magnitude on both sides."""
+        assert testpmd_1518_msb / iperf_1518_msb > 4.0
+
+    def test_kernel_stack_around_10gbps(self, iperf_1518_msb):
+        """§II.B: default gem5 kernel networking sustains ~10Gbps."""
+        assert 4.0 < iperf_1518_msb < 14.0
+
+    def test_dpdk_exceeds_50gbps_per_core(self, testpmd_1518_msb):
+        """§VIII: 'achieving speeds exceeding 50 Gbps per core.'"""
+        assert testpmd_1518_msb > 50.0
+
+
+class TestDropCauses:
+    def test_testpmd_small_packets_core_bound(self):
+        """Fig 5: TestPMD 64B drops are overwhelmingly CoreDrops."""
+        knee = find_msb(CFG, "testpmd", 64).msb_gbps
+        result = run_fixed_load(CFG, "testpmd", 64, knee * 1.2,
+                                n_packets=1500)
+        assert result.drop_breakdown["CoreDrop"] > 0.7
+
+    def test_testpmd_large_packets_dma_bound(self):
+        """Fig 5: TestPMD 1518B drops shift to 100% DmaDrops."""
+        knee = find_msb(CFG, "testpmd", 1518).msb_gbps
+        result = run_fixed_load(CFG, "testpmd", 1518, knee * 1.2,
+                                n_packets=1500)
+        assert result.drop_breakdown["DmaDrop"] > 0.7
+
+
+class TestSensitivities:
+    def test_dca_improves_dpdk_throughput(self):
+        """Fig 14: DCA enables higher throughput for DPDK apps at
+        core-bound packet sizes (at mid sizes our I/O bus binds both
+        configurations; see EXPERIMENTS.md)."""
+        on = find_msb(CFG, "testpmd", 128).msb_gbps
+        off = find_msb(with_dca(CFG, False), "testpmd", 128).msb_gbps
+        assert on > off * 1.15
+
+    def test_frequency_scales_core_bound_apps(self):
+        """Fig 15: TouchFwd (deep function) benefits from frequency."""
+        slow = find_msb(with_frequency(CFG, 1e9), "touchfwd", 1518,
+                        max_gbps=20.0).msb_gbps
+        fast = find_msb(with_frequency(CFG, 4e9), "touchfwd", 1518,
+                        max_gbps=20.0).msb_gbps
+        assert fast > 2.0 * slow
+
+    def test_frequency_does_not_scale_io_bound_apps(self):
+        """Fig 15: TestPMD at 1518B is IO-bound: frequency barely helps."""
+        slow = find_msb(with_frequency(CFG, 2e9), "testpmd", 1518).msb_gbps
+        fast = find_msb(with_frequency(CFG, 4e9), "testpmd", 1518).msb_gbps
+        assert fast < 1.2 * slow
+
+    def test_ooo_beats_inorder_most_for_deep_functions(self):
+        """Fig 16: TouchFwd gains far more from O3 than TestPMD-1518."""
+        inorder = with_core(CFG, ooo=False)
+        touch_gain = (find_msb(CFG, "touchfwd", 128, max_gbps=20.).msb_gbps
+                      / find_msb(inorder, "touchfwd", 128,
+                                 max_gbps=20.).msb_gbps)
+        pmd_gain = (find_msb(CFG, "testpmd", 1518).msb_gbps
+                    / find_msb(inorder, "testpmd", 1518).msb_gbps)
+        assert touch_gain > 3.0
+        assert pmd_gain < 1.5   # not core-bound: insensitive
+
+    def test_deep_function_far_slower_than_shallow(self):
+        """§V: TouchFwd (deep) sustains far less than TestPMD (shallow)."""
+        shallow = find_msb(CFG, "testpmd", 1518).msb_gbps
+        deep = find_msb(CFG, "touchfwd", 1518, max_gbps=20.0).msb_gbps
+        assert shallow > 4 * deep
+
+
+class TestMemcached:
+    def test_dpdk_sustains_several_times_kernel_rps(self):
+        """Fig 18: ~709k RPS (DPDK) vs ~218k RPS (kernel)."""
+        kernel = run_memcached(CFG, True, 400_000, n_requests=1500)
+        dpdk = run_memcached(CFG, False, 400_000, n_requests=1500)
+        assert kernel.drop_rate > 0.15      # far beyond the kernel knee
+        assert dpdk.drop_rate < 0.02        # comfortably within DPDK's
+
+    def test_latency_rises_with_load(self):
+        """Fig 19: response time grows as the rate approaches the knee."""
+        low = run_memcached(CFG, False, 100_000, n_requests=1000)
+        high = run_memcached(CFG, False, 650_000, n_requests=1500)
+        assert high.mean_latency_us > low.mean_latency_us * 1.5
+
+    def test_lower_frequency_raises_latency(self):
+        """Fig 19: reducing core frequency significantly increases
+        response time at high rates."""
+        fast = run_memcached(with_frequency(CFG, 3e9), False, 600_000,
+                             n_requests=1200)
+        slow = run_memcached(with_frequency(CFG, 1e9), False, 600_000,
+                             n_requests=1200)
+        assert (slow.mean_latency_us > 1.3 * fast.mean_latency_us
+                or slow.drop_rate > fast.drop_rate + 0.1)

@@ -1,0 +1,141 @@
+"""Unit tests for PCI configuration space — the paper's §III.A.1-2 fixes."""
+
+import pytest
+
+from repro.pci.config_space import (
+    CMD_BUS_MASTER,
+    CMD_INTX_DISABLE,
+    COMMAND_OFFSET,
+    PciConfigSpace,
+    PciQuirks,
+)
+
+
+def fixed_space():
+    return PciConfigSpace(0x8086, 0x100E, PciQuirks.fixed())
+
+
+def baseline_space():
+    return PciConfigSpace(0x8086, 0x100E, PciQuirks.baseline_gem5())
+
+
+class TestIdentity:
+    def test_vendor_device_ids(self):
+        space = fixed_space()
+        assert space.vendor_id == 0x8086
+        assert space.device_id == 0x100E
+
+    def test_ids_via_read(self):
+        space = fixed_space()
+        assert space.read(0x00, 2) == 0x8086
+        assert space.read(0x02, 2) == 0x100E
+
+    def test_fig2_layout_first_dword(self):
+        """Fig 2: offset 0x00 holds Device ID | Vendor ID."""
+        space = fixed_space()
+        assert space.read(0x00, 4) == (0x100E << 16) | 0x8086
+
+    def test_ids_are_read_only(self):
+        space = fixed_space()
+        space.write(0x00, 2, 0x1234)
+        assert space.vendor_id == 0x8086
+
+    def test_id_range_validated(self):
+        with pytest.raises(ValueError):
+            PciConfigSpace(0x10000, 0)
+
+
+class TestInterruptDisableBit:
+    """Paper §III.A.1: baseline gem5 implements bits 0-9 of the Command
+    Register but not bit 10, the interrupt disable bit."""
+
+    def test_fixed_model_implements_bit10(self):
+        space = fixed_space()
+        space.write(COMMAND_OFFSET, 2, CMD_INTX_DISABLE)
+        assert space.interrupts_disabled
+
+    def test_baseline_model_drops_bit10(self):
+        space = baseline_space()
+        space.write(COMMAND_OFFSET, 2, CMD_INTX_DISABLE)
+        assert not space.interrupts_disabled
+        assert space.command == 0
+
+    def test_baseline_model_keeps_bits_0_to_9(self):
+        space = baseline_space()
+        space.write(COMMAND_OFFSET, 2, 0x03FF)
+        assert space.command == 0x03FF
+
+    def test_reserved_bits_above_10_never_stick(self):
+        space = fixed_space()
+        space.write(COMMAND_OFFSET, 2, 0xFFFF)
+        assert space.command == 0x07FF
+
+
+class TestByteGranularAccess:
+    """Paper §III.A.2: DPDK accesses the Command Register with 8-bit
+    reads/writes at offsets 0x04 and 0x05; baseline gem5 ignores them."""
+
+    def test_fixed_model_byte_write_upper_half(self):
+        space = fixed_space()
+        # Bit 10 lives in the upper command byte (offset 0x05, bit 2).
+        space.write(COMMAND_OFFSET + 1, 1, 0x04)
+        assert space.interrupts_disabled
+
+    def test_fixed_model_byte_read_upper_half(self):
+        space = fixed_space()
+        space.write(COMMAND_OFFSET, 2, CMD_INTX_DISABLE | CMD_BUS_MASTER)
+        assert space.read(COMMAND_OFFSET + 1, 1) == 0x04
+        assert space.read(COMMAND_OFFSET, 1) == CMD_BUS_MASTER
+
+    def test_baseline_ignores_byte_writes(self):
+        space = baseline_space()
+        space.write(COMMAND_OFFSET, 1, CMD_BUS_MASTER)
+        assert space.command == 0
+        assert space.ignored_writes == 1
+
+    def test_baseline_byte_reads_return_zero(self):
+        space = baseline_space()
+        space.write(COMMAND_OFFSET, 2, CMD_BUS_MASTER)   # 16-bit works
+        assert space.read(COMMAND_OFFSET, 1) == 0
+        assert space.read(COMMAND_OFFSET + 1, 1) == 0
+
+    def test_baseline_16bit_access_still_works(self):
+        space = baseline_space()
+        space.write(COMMAND_OFFSET, 2, CMD_BUS_MASTER)
+        assert space.read(COMMAND_OFFSET, 2) == CMD_BUS_MASTER
+
+    def test_byte_access_elsewhere_unaffected_by_quirk(self):
+        space = baseline_space()
+        space.write(0x3C, 1, 0x0B)     # interrupt line register
+        assert space.read(0x3C, 1) == 0x0B
+
+
+class TestAccessValidation:
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_space().read(0, 3)
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_space().read(1, 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_space().read(256, 1)
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_space().write(0x10, 1, 0x100)
+
+
+class TestBars:
+    def test_set_and_read(self):
+        space = fixed_space()
+        space.set_bar(0, 0xFEB00000)
+        assert space.bar(0) == 0xFEB00000
+
+    def test_index_bounds(self):
+        with pytest.raises(ValueError):
+            fixed_space().set_bar(6, 0)
+        with pytest.raises(ValueError):
+            fixed_space().bar(-1)

@@ -1,0 +1,89 @@
+"""Unit tests for PCI devices and the bus."""
+
+import pytest
+
+from repro.pci.bus import PciBus
+from repro.pci.config_space import CMD_INTX_DISABLE, COMMAND_OFFSET, PciQuirks
+from repro.pci.device import PciDevice
+
+
+class TestDevice:
+    def test_interrupt_delivery(self):
+        device = PciDevice(0x8086, 0x100E)
+        fired = []
+        device.interrupt_handler = lambda: fired.append(1)
+        assert device.post_interrupt()
+        assert fired == [1]
+        assert device.interrupts_posted == 1
+
+    def test_interrupt_suppressed_when_disabled(self):
+        device = PciDevice(0x8086, 0x100E)
+        device.write_config(COMMAND_OFFSET, 2, CMD_INTX_DISABLE)
+        assert not device.post_interrupt()
+        assert device.interrupts_suppressed == 1
+
+    def test_device_level_mask_suppresses(self):
+        class Masked(PciDevice):
+            def device_interrupts_masked(self):
+                return True
+
+        device = Masked(0x8086, 0x100E)
+        assert not device.post_interrupt()
+
+    def test_driver_binding(self):
+        device = PciDevice(0x8086, 0x100E)
+        device.bind_driver("e1000")
+        assert device.driver_name == "e1000"
+        device.unbind_driver()
+        assert device.driver_name is None
+
+
+class TestBus:
+    def test_attach_and_lookup(self):
+        bus = PciBus()
+        device = PciDevice(0x8086, 0x100E)
+        bus.attach("00:02.0", device)
+        assert bus.device("00:02.0") is device
+        assert device.bdf == "00:02.0"
+
+    def test_malformed_bdf_rejected(self):
+        bus = PciBus()
+        with pytest.raises(ValueError):
+            bus.attach("2.0", PciDevice(1, 1))
+        with pytest.raises(ValueError):
+            bus.attach("00:02.8", PciDevice(1, 1))
+
+    def test_occupied_slot_rejected(self):
+        bus = PciBus()
+        bus.attach("00:02.0", PciDevice(1, 1))
+        with pytest.raises(ValueError):
+            bus.attach("00:02.0", PciDevice(1, 2))
+
+    def test_double_attach_rejected(self):
+        bus = PciBus()
+        device = PciDevice(1, 1)
+        bus.attach("00:02.0", device)
+        with pytest.raises(ValueError):
+            bus.attach("00:03.0", device)
+
+    def test_enumerate_in_bdf_order(self):
+        bus = PciBus()
+        late = bus.attach("00:1f.0", PciDevice(1, 1))
+        early = bus.attach("00:02.0", PciDevice(1, 2))
+        assert bus.enumerate() == [early, late]
+
+    def test_find_by_ids(self):
+        bus = PciBus()
+        nic = bus.attach("00:02.0", PciDevice(0x8086, 0x100E))
+        bus.attach("00:03.0", PciDevice(0x15B3, 0x101B))
+        assert bus.find(0x8086, 0x100E) == [nic]
+        assert bus.find(0xDEAD, 0xBEEF) == []
+
+    def test_missing_device(self):
+        with pytest.raises(KeyError):
+            PciBus().device("00:09.0")
+
+    def test_len(self):
+        bus = PciBus()
+        bus.attach("00:02.0", PciDevice(1, 1))
+        assert len(bus) == 1

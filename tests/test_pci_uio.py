@@ -1,0 +1,69 @@
+"""Unit tests for the uio_pci_generic driver model (paper §III.A.1)."""
+
+import pytest
+
+from repro.pci.config_space import (
+    CMD_BUS_MASTER,
+    CMD_INTX_DISABLE,
+    COMMAND_OFFSET,
+    PciQuirks,
+)
+from repro.pci.device import PciDevice
+from repro.pci.uio import UioBindError, UioPciGeneric
+
+
+def test_bind_disables_interrupts_and_enables_bus_master():
+    device = PciDevice(0x8086, 0x100E, PciQuirks.fixed())
+    uio = UioPciGeneric()
+    uio.bind(device)
+    assert device.config_space.interrupts_disabled
+    assert device.config_space.bus_master_enabled
+    assert device.driver_name == "uio_pci_generic"
+
+
+def test_bind_fails_on_baseline_gem5():
+    """The headline failure: mainline gem5 cannot run the UIO driver
+    because the interrupt-disable bit is unimplemented."""
+    device = PciDevice(0x8086, 0x100E, PciQuirks.baseline_gem5())
+    uio = UioPciGeneric()
+    with pytest.raises(UioBindError, match="interrupt"):
+        uio.bind(device)
+    assert device.driver_name is None
+
+
+def test_bind_refuses_already_bound_device():
+    device = PciDevice(0x8086, 0x100E)
+    device.bind_driver("e1000")
+    with pytest.raises(UioBindError, match="already bound"):
+        UioPciGeneric().bind(device)
+
+
+def test_unbind_restores_interrupts():
+    device = PciDevice(0x8086, 0x100E)
+    uio = UioPciGeneric()
+    uio.bind(device)
+    uio.unbind(device)
+    assert not device.config_space.interrupts_disabled
+    assert device.driver_name is None
+
+
+def test_unbind_unknown_device_rejected():
+    with pytest.raises(UioBindError):
+        UioPciGeneric().unbind(PciDevice(1, 1))
+
+
+def test_bound_device_suppresses_interrupts():
+    device = PciDevice(0x8086, 0x100E)
+    UioPciGeneric().bind(device)
+    assert not device.post_interrupt()
+    assert device.interrupts_suppressed == 1
+
+
+def test_bind_preserves_other_command_bits():
+    device = PciDevice(0x8086, 0x100E)
+    device.write_config(COMMAND_OFFSET, 2, 0x0003)   # io + mem space
+    UioPciGeneric().bind(device)
+    command = device.read_config(COMMAND_OFFSET, 2)
+    assert command & 0x0003 == 0x0003
+    assert command & CMD_INTX_DISABLE
+    assert command & CMD_BUS_MASTER

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dpdk.ring import RteRing
+from repro.mem.cache import CacheConfig, SetAssocCache
+from repro.net.headers import build_udp_frame, parse_udp_frame
+from repro.net.packet import MacAddress, Packet
+from repro.nic.drop_fsm import DropCause, DropClassifier
+from repro.nic.fifo import PacketByteFifo
+from repro.sim.event_queue import Event, EventQueue
+from repro.sim.stats import Distribution, Histogram
+
+MAC_A = MacAddress.parse("02:00:00:00:00:01")
+MAC_B = MacAddress.parse("02:00:00:00:00:02")
+
+
+# ----------------------------------------------------------------------
+# Event queue: time never goes backwards; every live event fires once.
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000),
+                min_size=1, max_size=200))
+@settings(max_examples=50)
+def test_event_queue_time_monotone(ticks):
+    queue = EventQueue()
+    observed = []
+    for when in ticks:
+        queue.schedule(Event(lambda: observed.append(queue.now)), when)
+    queue.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(ticks)
+
+
+@given(st.lists(st.tuples(st.integers(0, 1000), st.booleans()),
+                min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_event_queue_cancelled_never_fire(entries):
+    queue = EventQueue()
+    fired = []
+    cancelled = 0
+    for when, cancel in entries:
+        event = Event(lambda w=when: fired.append(w))
+        queue.schedule(event, when)
+        if cancel:
+            queue.deschedule(event)
+            cancelled += 1
+    queue.run()
+    assert len(fired) == len(entries) - cancelled
+
+
+# ----------------------------------------------------------------------
+# Cache: occupancy never exceeds capacity; a just-inserted line hits.
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                min_size=1, max_size=500))
+@settings(max_examples=50)
+def test_cache_occupancy_bounded(addresses):
+    cache = SetAssocCache(CacheConfig(name="c", size=4096, assoc=4,
+                                      latency_cycles=1))
+    capacity = 4096 // 64
+    for addr in addresses:
+        cache.insert(addr)
+        assert cache.occupancy() <= capacity
+        assert cache.contains(addr)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 18),
+                min_size=1, max_size=300),
+       st.integers(min_value=1, max_value=3))
+@settings(max_examples=30)
+def test_cache_io_partition_isolation(addresses, io_ways):
+    """Core insertions never push out io-partition lines and vice versa."""
+    cache = SetAssocCache(CacheConfig(name="c", size=4096, assoc=4,
+                                      latency_cycles=1,
+                                      reserved_io_ways=io_ways))
+    io_line = 0x40
+    cache.insert(io_line, partition="io")
+    for addr in addresses:
+        if cache.line_addr(addr) == io_line:
+            continue
+        cache.insert(addr)   # core partition only
+    assert cache.contains(io_line)
+
+
+# ----------------------------------------------------------------------
+# FIFO: byte accounting is exact under arbitrary interleaving.
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.integers(64, 1518), st.booleans()),
+                min_size=1, max_size=200))
+@settings(max_examples=50)
+def test_fifo_byte_accounting(ops):
+    fifo = PacketByteFifo(16 * 1024)
+    expected = []
+    for size, dequeue in ops:
+        if dequeue and expected:
+            fifo.dequeue()
+            expected.pop(0)
+        else:
+            if fifo.try_enqueue(Packet(wire_len=size)):
+                expected.append(size)
+        assert fifo.occupancy_bytes == sum(expected)
+        assert 0 <= fifo.occupancy_bytes <= fifo.capacity_bytes
+        assert len(fifo) == len(expected)
+
+
+# ----------------------------------------------------------------------
+# rte_ring: conservation and FIFO order for any burst pattern.
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=1, max_value=16), min_size=1,
+                max_size=100))
+@settings(max_examples=50)
+def test_ring_conserves_items(bursts):
+    ring = RteRing("r", 64)
+    produced, consumed = 0, []
+    for burst in bursts:
+        items = list(range(produced, produced + burst))
+        produced += ring.enqueue_burst(items)
+        consumed.extend(ring.dequeue_burst(burst // 2 + 1))
+    consumed.extend(ring.dequeue_burst(64))
+    assert consumed == list(range(produced))
+
+
+# ----------------------------------------------------------------------
+# Drop FSM: counters always sum to total; classification is total.
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.booleans(), st.booleans(), st.booleans()),
+                min_size=1, max_size=300))
+@settings(max_examples=50)
+def test_drop_fsm_counter_conservation(states):
+    fsm = DropClassifier()
+    drops = 0
+    for fifo_full, rx_full, tx_full in states:
+        dropped = fifo_full   # drop iff the FIFO cannot take the frame
+        fsm.on_packet_rx(fifo_full, rx_full, tx_full, dropped=dropped)
+        if dropped:
+            drops += 1
+    assert fsm.total_drops == drops
+    assert sum(fsm.counts.values()) == drops
+    if drops:
+        assert abs(sum(fsm.breakdown().values()) - 1.0) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Statistics: distribution invariants.
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=2, max_size=300))
+@settings(max_examples=50)
+def test_distribution_invariants(samples):
+    dist = Distribution("d")
+    for x in samples:
+        dist.sample(x)
+    # One ulp of slack: summing identical floats can round the mean just
+    # past the extremes.
+    slack = 1e-9 * max(1.0, abs(dist.mean))
+    assert dist.minimum <= dist.median <= dist.maximum
+    assert dist.minimum - slack <= dist.mean <= dist.maximum + slack
+    assert dist.stddev >= 0
+    assert dist.percentile(25) <= dist.percentile(75)
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=1100,
+                          allow_nan=False), min_size=1, max_size=300))
+@settings(max_examples=50)
+def test_histogram_conserves_samples(samples):
+    hist = Histogram("h", 0.0, 1000.0, nbuckets=16)
+    for x in samples:
+        hist.sample(x)
+    assert hist.count == len(samples)
+
+
+# ----------------------------------------------------------------------
+# Packet framing: UDP frames round-trip for arbitrary payloads.
+# ----------------------------------------------------------------------
+
+@given(st.binary(min_size=0, max_size=1400),
+       st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF),
+       st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+@settings(max_examples=100)
+def test_udp_frame_round_trip(payload, src_ip, dst_ip, sport, dport):
+    packet = build_udp_frame(MAC_A, MAC_B, src_ip, dst_ip, sport, dport,
+                             payload)
+    ip, udp, parsed = parse_udp_frame(packet)
+    assert parsed == payload
+    assert ip.src_ip == src_ip
+    assert ip.dst_ip == dst_ip
+    assert udp.src_port == sport
+    assert udp.dst_port == dport
+    assert 64 <= packet.wire_len <= 1518
+
+
+@given(st.integers(64, 1518))
+@settings(max_examples=50)
+def test_packet_serialization_round_trip(size):
+    packet = Packet(wire_len=size, src=MAC_A, dst=MAC_B)
+    parsed = Packet.from_bytes(packet.to_bytes())
+    assert parsed.wire_len == size
+    assert parsed.src == MAC_A

@@ -1,0 +1,164 @@
+"""Extended property-based tests: DRAM mapping, descriptor rings, the
+prefetch detector, ramp accounting and trace round-trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.core import CoreConfig
+from repro.cpu.ooo import OutOfOrderCore
+from repro.kvstore.protocol import (
+    GetRequest,
+    SetRequest,
+    decode_request,
+    encode_request,
+)
+from repro.kvstore.store import KvStore
+from repro.mem.address import AddressSpace
+from repro.mem.dram import DramConfig, DramModel
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.net.pcap import PcapReader, PcapWriter
+from repro.nic.descriptors import DESC_SIZE, RxRing
+from repro.net.packet import Packet
+
+
+# ----------------------------------------------------------------------
+# DRAM address mapping: total, deterministic, channel-complete.
+# ----------------------------------------------------------------------
+
+@given(st.integers(min_value=1, max_value=16),
+       st.lists(st.integers(min_value=0, max_value=1 << 30),
+                min_size=1, max_size=200))
+@settings(max_examples=40)
+def test_dram_mapping_total_and_bounded(channels, addrs):
+    dram = DramModel(DramConfig(channels=channels))
+    for addr in addrs:
+        channel, bank, row = dram._map(addr)
+        assert 0 <= channel < channels
+        assert 0 <= bank < dram.config.banks_per_channel
+        assert row >= 0
+        # Deterministic.
+        assert dram._map(addr) == (channel, bank, row)
+
+
+@given(st.integers(min_value=1, max_value=16))
+@settings(max_examples=16)
+def test_dram_consecutive_lines_cover_all_channels(channels):
+    dram = DramModel(DramConfig(channels=channels))
+    seen = {dram._map(i * 64)[0] for i in range(channels)}
+    assert seen == set(range(channels))
+
+
+@given(st.lists(st.tuples(st.integers(0, 1 << 24), st.booleans()),
+                min_size=1, max_size=300))
+@settings(max_examples=30)
+def test_dram_latency_positive_and_counted(accesses):
+    dram = DramModel(DramConfig())
+    for addr, is_write in accesses:
+        latency = dram.access(addr, 0.0, is_write=is_write)
+        assert latency > 0
+    assert dram.reads + dram.writes == len(accesses)
+    assert dram.row_hits + dram.row_misses == len(accesses)
+
+
+# ----------------------------------------------------------------------
+# RX ring: descriptor conservation through fill/writeback/harvest cycles.
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.sampled_from(["fill", "writeback", "harvest"]),
+                min_size=1, max_size=400),
+       st.integers(min_value=1, max_value=16))
+@settings(max_examples=40)
+def test_rx_ring_descriptor_conservation(ops, threshold):
+    space = AddressSpace()
+    size = 16
+    ring = RxRing(size, space.allocate("r", size * DESC_SIZE),
+                  writeback_threshold=threshold)
+    harvested = 0
+    for op in ops:
+        if op == "fill" and not ring.full:
+            ring.fill(0x1000, Packet(wire_len=64))
+        elif op == "writeback":
+            ring.writeback()
+        elif op == "harvest":
+            batch = ring.harvest(4)
+            harvested += len(batch)
+            if batch:
+                ring.replenish(len(batch))
+        total = (ring.nic_free_descriptors
+                 + ring.pending_writeback_count
+                 + ring.completed_count)
+        assert total == size   # no descriptor ever leaks
+    assert harvested <= ring.filled_total
+
+
+# ----------------------------------------------------------------------
+# Prefetch detector: covered lines are always interior members of
+# ascending runs.
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                min_size=1, max_size=200))
+@settings(max_examples=40)
+def test_prefetch_covered_subset_of_run_interiors(addrs):
+    core = OutOfOrderCore(CoreConfig(), MemoryHierarchy())
+    covered = core._covered_by_prefetch(addrs)
+    assert covered <= set(addrs)
+    lines = [a & ~63 for a in addrs]
+    for addr in covered:
+        index = addrs.index(addr)
+        # A covered access always directly extends an ascending run.
+        assert index >= 1
+        assert lines[index] == lines[index - 1] + 64
+
+
+# ----------------------------------------------------------------------
+# KV store: set-then-get always round-trips the value length.
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.binary(min_size=1, max_size=40),
+                          st.integers(min_value=0, max_value=300)),
+                min_size=1, max_size=100))
+@settings(max_examples=30)
+def test_kvstore_set_get_round_trip(pairs):
+    store = KvStore(AddressSpace(), n_buckets=32)
+    reference = {}
+    for key, value_len in pairs:
+        store.set(key, bytes(value_len))
+        reference[key] = value_len
+    for key, value_len in reference.items():
+        value, footprint = store.get(key)
+        assert value is not None
+        assert len(value) == value_len
+        assert footprint.hit
+    assert store.size == len(reference)
+
+
+# ----------------------------------------------------------------------
+# Protocol: request encoding is injective on (id16, key, value).
+# ----------------------------------------------------------------------
+
+@given(st.integers(0, 0xFFFF), st.binary(min_size=1, max_size=80),
+       st.one_of(st.none(), st.binary(max_size=120)))
+@settings(max_examples=100)
+def test_request_round_trip_arbitrary(request_id, key, value):
+    if value is None:
+        request = GetRequest(request_id=request_id, key=key)
+    else:
+        request = SetRequest(request_id=request_id, key=key, value=value)
+    assert decode_request(encode_request(request)) == request
+
+
+# ----------------------------------------------------------------------
+# PCAP: write/read round-trips arbitrary frame bytes and timestamps.
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.integers(0, 2**40),
+                          st.binary(min_size=1, max_size=200)),
+                min_size=1, max_size=40))
+@settings(max_examples=30)
+def test_pcap_round_trip_arbitrary(tmp_path_factory, records):
+    path = tmp_path_factory.mktemp("pcap") / "t.pcap"
+    with PcapWriter(path) as writer:
+        for ts, data in records:
+            writer.write(ts, data)
+    out = [(r.ts_ns, r.data) for r in PcapReader(path)]
+    assert out == records

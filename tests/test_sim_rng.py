@@ -1,0 +1,72 @@
+"""Unit tests for the deterministic RNG."""
+
+from repro.sim.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(1)
+    b = DeterministicRng(1)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seed_different_stream():
+    a = DeterministicRng(1)
+    b = DeterministicRng(2)
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_fork_is_deterministic():
+    a = DeterministicRng(7).fork("child")
+    b = DeterministicRng(7).fork("child")
+    assert a.random() == b.random()
+
+
+def test_fork_labels_independent():
+    parent = DeterministicRng(7)
+    a = parent.fork("x")
+    b = parent.fork("y")
+    assert a.random() != b.random()
+
+
+def test_fork_does_not_consume_parent_stream():
+    a = DeterministicRng(5)
+    before = DeterministicRng(5).random()
+    a.fork("anything")
+    assert a.random() == before
+
+
+def test_randint_bounds():
+    rng = DeterministicRng(3)
+    values = {rng.randint(1, 3) for _ in range(200)}
+    assert values == {1, 2, 3}
+
+
+def test_uniform_bounds():
+    rng = DeterministicRng(3)
+    for _ in range(100):
+        x = rng.uniform(2.0, 4.0)
+        assert 2.0 <= x <= 4.0
+
+
+def test_expovariate_positive_mean():
+    rng = DeterministicRng(3)
+    samples = [rng.expovariate(10.0) for _ in range(2000)]
+    mean = sum(samples) / len(samples)
+    assert 0.08 < mean < 0.12   # mean ~ 1/rate
+
+
+def test_bernoulli_extremes():
+    rng = DeterministicRng(3)
+    assert not any(rng.bernoulli(0.0) for _ in range(50))
+    assert all(rng.bernoulli(1.0) for _ in range(50))
+
+
+def test_choice_and_shuffle_deterministic():
+    a = DeterministicRng(9)
+    b = DeterministicRng(9)
+    seq = list(range(20))
+    seq_a, seq_b = list(seq), list(seq)
+    a.shuffle(seq_a)
+    b.shuffle(seq_b)
+    assert seq_a == seq_b
+    assert a.choice(seq) == b.choice(seq)

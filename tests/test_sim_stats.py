@@ -1,0 +1,189 @@
+"""Unit tests for the statistics framework."""
+
+import pytest
+
+from repro.sim.stats import Counter, Distribution, Histogram, StatRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_inc_default(self):
+        c = Counter("c")
+        c.inc()
+        c.inc()
+        assert c.value == 2
+
+    def test_inc_amount(self):
+        c = Counter("c")
+        c.inc(41)
+        c.inc(-1)
+        assert c.value == 40
+
+    def test_reset(self):
+        c = Counter("c")
+        c.inc(7)
+        c.reset()
+        assert c.value == 0
+
+    def test_int_conversion(self):
+        c = Counter("c")
+        c.inc(3)
+        assert int(c) == 3
+
+
+class TestDistribution:
+    def test_empty_summary_is_zeroes(self):
+        d = Distribution("d")
+        assert d.mean == 0.0
+        assert d.median == 0.0
+        assert d.stddev == 0.0
+
+    def test_mean(self):
+        d = Distribution("d")
+        for x in (1, 2, 3, 4):
+            d.sample(x)
+        assert d.mean == pytest.approx(2.5)
+
+    def test_median_odd(self):
+        d = Distribution("d")
+        for x in (5, 1, 3):
+            d.sample(x)
+        assert d.median == pytest.approx(3.0)
+
+    def test_median_even_interpolates(self):
+        d = Distribution("d")
+        for x in (1, 2, 3, 4):
+            d.sample(x)
+        assert d.median == pytest.approx(2.5)
+
+    def test_stddev_known_value(self):
+        d = Distribution("d")
+        for x in (2, 4, 4, 4, 5, 5, 7, 9):
+            d.sample(x)
+        # Sample stddev of this classic set is ~2.138.
+        assert d.stddev == pytest.approx(2.138, abs=0.001)
+
+    def test_percentile_bounds(self):
+        d = Distribution("d")
+        for x in range(1, 101):
+            d.sample(x)
+        assert d.percentile(0) == 1
+        assert d.percentile(100) == 100
+
+    def test_p99(self):
+        d = Distribution("d")
+        for x in range(1, 101):
+            d.sample(x)
+        assert d.p99 == pytest.approx(99.01, abs=0.1)
+
+    def test_percentile_out_of_range(self):
+        d = Distribution("d")
+        d.sample(1)
+        with pytest.raises(ValueError):
+            d.percentile(101)
+
+    def test_min_max(self):
+        d = Distribution("d")
+        for x in (4, -2, 9):
+            d.sample(x)
+        assert d.minimum == -2
+        assert d.maximum == 9
+
+    def test_summary_keys(self):
+        d = Distribution("d")
+        d.sample(1.0)
+        summary = d.summary()
+        for key in ("count", "mean", "median", "stddev", "min", "max",
+                    "p95", "p99"):
+            assert key in summary
+
+    def test_reset(self):
+        d = Distribution("d")
+        d.sample(1.0)
+        d.reset()
+        assert d.count == 0
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("h", 0.0, 100.0, nbuckets=10)
+        h.sample(5)
+        h.sample(95)
+        assert h.buckets[0] == 1
+        assert h.buckets[9] == 1
+
+    def test_underflow_overflow(self):
+        h = Histogram("h", 0.0, 10.0, nbuckets=2)
+        h.sample(-1)
+        h.sample(100)
+        assert h.underflow == 1
+        assert h.overflow == 1
+        assert h.count == 2
+
+    def test_upper_edge_is_overflow(self):
+        h = Histogram("h", 0.0, 10.0, nbuckets=2)
+        h.sample(10.0)
+        assert h.overflow == 1
+
+    def test_edges(self):
+        h = Histogram("h", 0.0, 10.0, nbuckets=2)
+        assert h.bucket_edges() == [0.0, 5.0, 10.0]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", 5.0, 5.0)
+
+    def test_as_dict(self):
+        h = Histogram("h", 0.0, 4.0, nbuckets=4)
+        h.sample(1.5)
+        data = h.as_dict()
+        assert data["counts"][1] == 1
+        assert len(data["edges"]) == 5
+
+    def test_reset(self):
+        h = Histogram("h", 0.0, 4.0, nbuckets=4)
+        h.sample(1.0)
+        h.reset()
+        assert h.count == 0
+
+
+class TestStatRegistry:
+    def test_group_namespacing(self):
+        reg = StatRegistry()
+        grp = reg.group("nic0")
+        c = grp.counter("rxPackets")
+        assert c.name == "nic0.rxPackets"
+
+    def test_duplicate_stat_rejected(self):
+        reg = StatRegistry()
+        grp = reg.group("x")
+        grp.counter("a")
+        with pytest.raises(ValueError):
+            grp.counter("a")
+
+    def test_dump_flattens(self):
+        reg = StatRegistry()
+        grp = reg.group("x")
+        grp.counter("a").inc(3)
+        dist = grp.distribution("lat")
+        dist.sample(2.0)
+        dump = reg.dump()
+        assert dump["x.a"] == 3
+        assert dump["x.lat.mean"] == pytest.approx(2.0)
+
+    def test_global_reset(self):
+        reg = StatRegistry()
+        grp = reg.group("x")
+        c = grp.counter("a")
+        c.inc(5)
+        reg.reset()
+        assert c.value == 0
+
+    def test_format_renders_lines(self):
+        reg = StatRegistry()
+        grp = reg.group("x")
+        grp.counter("a").inc(1)
+        text = reg.format()
+        assert "x.a" in text

@@ -1,0 +1,69 @@
+"""Unit tests for simulated-time conversions."""
+
+import pytest
+
+from repro.sim.ticks import (
+    TICKS_PER_MS,
+    TICKS_PER_NS,
+    TICKS_PER_SEC,
+    TICKS_PER_US,
+    freq_to_period,
+    ms_to_ticks,
+    ns_to_ticks,
+    s_to_ticks,
+    ticks_to_ns,
+    ticks_to_s,
+    ticks_to_us,
+    us_to_ticks,
+)
+
+
+def test_tick_is_picosecond():
+    assert TICKS_PER_SEC == 10**12
+    assert TICKS_PER_MS == 10**9
+    assert TICKS_PER_US == 10**6
+    assert TICKS_PER_NS == 10**3
+
+
+def test_second_round_trip():
+    assert ticks_to_s(s_to_ticks(1.5)) == pytest.approx(1.5)
+
+
+def test_us_round_trip():
+    assert ticks_to_us(us_to_ticks(200.0)) == pytest.approx(200.0)
+
+
+def test_ns_round_trip():
+    assert ticks_to_ns(ns_to_ticks(42.0)) == pytest.approx(42.0)
+
+
+def test_conversions_are_integers():
+    assert isinstance(s_to_ticks(0.1), int)
+    assert isinstance(ms_to_ticks(0.1), int)
+    assert isinstance(us_to_ticks(0.1), int)
+    assert isinstance(ns_to_ticks(0.1), int)
+
+
+def test_sub_tick_rounds_to_nearest():
+    assert ns_to_ticks(0.0004) == 0
+    assert ns_to_ticks(0.0006) == 1
+
+
+def test_freq_to_period_1ghz():
+    assert freq_to_period(1e9) == 1000   # 1 ns
+
+
+def test_freq_to_period_3ghz():
+    assert freq_to_period(3e9) == 333
+
+
+def test_freq_to_period_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        freq_to_period(0)
+    with pytest.raises(ValueError):
+        freq_to_period(-1e9)
+
+
+def test_unit_ratios_consistent():
+    assert ms_to_ticks(1) == us_to_ticks(1000)
+    assert us_to_ticks(1) == ns_to_ticks(1000)

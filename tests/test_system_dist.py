@@ -1,0 +1,155 @@
+"""Tests for the dist-gem5-style synchronized simulation."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.nic.phy import EtherPort
+from repro.sim.simobject import Simulation
+from repro.sim.ticks import us_to_ticks
+from repro.system.dist import DistCoordinator, DistEtherLink
+
+
+def build_pair(delay_us=200.0, quantum=None):
+    sim_a, sim_b = Simulation(seed=1), Simulation(seed=2)
+    link = DistEtherLink(sim_a, sim_b, delay_ticks=us_to_ticks(delay_us))
+    rx_a, rx_b = [], []
+    port_a = EtherPort("a", lambda p: rx_a.append((sim_a.now, p)))
+    port_b = EtherPort("b", lambda p: rx_b.append((sim_b.now, p)))
+    link.end_a.attach(port_a)
+    link.end_b.attach(port_b)
+    coordinator = DistCoordinator([sim_a, sim_b], [link],
+                                  quantum_ticks=quantum)
+    return sim_a, sim_b, link, port_a, port_b, rx_a, rx_b, coordinator
+
+
+class TestCrossSimDelivery:
+    def test_frame_crosses_simulations(self):
+        sim_a, _sim_b, _link, port_a, _pb, _ra, rx_b, coord = build_pair()
+        port_a.send(Packet(wire_len=256))
+        coord.run(until=us_to_ticks(1000))
+        assert len(rx_b) == 1
+
+    def test_delivery_respects_link_latency(self):
+        sim_a, _sim_b, _l, port_a, _pb, _ra, rx_b, coord = build_pair(
+            delay_us=200.0)
+        port_a.send(Packet(wire_len=64))
+        coord.run(until=us_to_ticks(1000))
+        tick, _packet = rx_b[0]
+        assert tick >= us_to_ticks(200)
+        assert tick <= us_to_ticks(201)
+
+    def test_bidirectional(self):
+        (_sa, _sb, _l, port_a, port_b, rx_a, rx_b,
+         coord) = build_pair()
+        port_a.send(Packet(wire_len=64))
+        port_b.send(Packet(wire_len=64))
+        coord.run(until=us_to_ticks(1000))
+        assert len(rx_a) == 1
+        assert len(rx_b) == 1
+
+    def test_many_frames_all_arrive_in_order(self):
+        sim_a, _sb, _l, port_a, _pb, _ra, rx_b, coord = build_pair()
+        for i in range(50):
+            sim_a.events.call_at(
+                us_to_ticks(i), lambda: port_a.send(Packet(wire_len=64)))
+        coord.run(until=us_to_ticks(2000))
+        assert len(rx_b) == 50
+        ticks = [t for t, _p in rx_b]
+        assert ticks == sorted(ticks)
+
+    def test_response_round_trip(self):
+        """An echo across the pair takes two link latencies."""
+        (_sa, sim_b, _l, port_a, port_b, rx_a, _rb,
+         coord) = build_pair(delay_us=100.0)
+        port_b.on_receive = lambda p: port_b.send(p.response_to())
+        port_a.send(Packet(wire_len=64, ts_tx=0))
+        coord.run(until=us_to_ticks(1000))
+        assert len(rx_a) == 1
+        tick, _packet = rx_a[0]
+        assert tick >= us_to_ticks(200)
+
+
+class TestSynchronization:
+    def test_skew_bounded_by_quantum(self):
+        (_sa, _sb, _l, port_a, _pb, _ra, _rb, coord) = build_pair()
+        port_a.send(Packet(wire_len=64))
+        coord.run(until=us_to_ticks(777))
+        assert coord.max_skew() <= coord.quantum_ticks
+
+    def test_quantum_defaults_to_min_latency(self):
+        (_sa, _sb, link, _pa, _pb, _ra, _rb, coord) = build_pair(
+            delay_us=200.0)
+        assert coord.quantum_ticks == link.delay_ticks
+
+    def test_oversized_quantum_rejected(self):
+        sim_a, sim_b = Simulation(), Simulation()
+        link = DistEtherLink(sim_a, sim_b, delay_ticks=1000)
+        with pytest.raises(ValueError, match="quantum"):
+            DistCoordinator([sim_a, sim_b], [link], quantum_ticks=2000)
+
+    def test_zero_latency_link_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            DistEtherLink(Simulation(), Simulation(), delay_ticks=0)
+
+    def test_single_sim_rejected(self):
+        sim = Simulation()
+        link = DistEtherLink(sim, Simulation(), delay_ticks=100)
+        with pytest.raises(ValueError, match="two"):
+            DistCoordinator([sim], [link])
+
+    def test_barriers_counted(self):
+        (_sa, _sb, _l, _pa, _pb, _ra, _rb, coord) = build_pair(
+            delay_us=100.0)
+        coord.run(until=us_to_ticks(1000))
+        assert coord.barriers == 10
+
+    def test_run_is_resumable(self):
+        (_sa, _sb, _l, port_a, _pb, _ra, rx_b, coord) = build_pair()
+        port_a.send(Packet(wire_len=64))
+        coord.run(until=us_to_ticks(100))
+        assert rx_b == []          # below the link latency
+        coord.run(until=us_to_ticks(1000))
+        assert len(rx_b) == 1
+
+    def test_double_attach_rejected(self):
+        sim_a, sim_b = Simulation(), Simulation()
+        link = DistEtherLink(sim_a, sim_b, delay_ticks=100)
+        port = EtherPort("p", lambda p: None)
+        link.end_a.attach(port)
+        with pytest.raises(RuntimeError):
+            link.end_a.attach(port)
+
+
+class TestDistNodeTopology:
+    """A full Test Node in one simulation, EtherLoadGen in another —
+    the two-process dist-gem5 topology of Fig 1a."""
+
+    def test_testpmd_served_across_simulations(self):
+        from repro.apps.testpmd import TestPmd as PmdApp  # noqa: N811
+        from repro.loadgen.ether_load_gen import (
+            EtherLoadGen,
+            SyntheticConfig,
+        )
+        from repro.system.node import DpdkNode
+        from repro.system.presets import gem5_default
+
+        config = gem5_default()
+        node = DpdkNode(config, seed=41)
+        node.install_app(PmdApp)
+        client_sim = Simulation(seed=42)
+        loadgen = EtherLoadGen(client_sim, "dist_loadgen")
+        link = DistEtherLink(client_sim, node.sim,
+                             bandwidth_bits_per_sec=config.link_bandwidth_bps,
+                             delay_ticks=us_to_ticks(config.link_delay_us))
+        link.end_a.attach(loadgen.port)
+        link.end_b.attach(node.nic.port)
+        coordinator = DistCoordinator([client_sim, node.sim], [link])
+
+        node.start()
+        loadgen.start_synthetic(SyntheticConfig(packet_size=256,
+                                                rate_gbps=2.0, count=60))
+        coordinator.run(until=us_to_ticks(3000))
+        assert node.app.packets_processed == 60
+        assert loadgen.rx_packets == 60
+        # RTT crosses both latencies.
+        assert loadgen.latency.summary()["min"] >= 2 * config.link_delay_us

@@ -1,0 +1,126 @@
+"""Unit tests for Table-I presets and sweep helpers."""
+
+import pytest
+
+from repro.system.presets import (
+    ALTRA_CLIENT_MAX_PPS,
+    altra,
+    gem5_baseline,
+    gem5_default,
+    with_core,
+    with_dca,
+    with_dram_channels,
+    with_frequency,
+    with_l1_size,
+    with_l2_size,
+    with_llc_size,
+    with_rob,
+)
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+class TestGem5Preset:
+    def test_table1_core_column(self):
+        cfg = gem5_default()
+        assert cfg.core.freq_hz == 3e9
+        assert cfg.core.width == 4
+        assert cfg.core.rob_entries == 128
+        assert cfg.core.iq_entries == 120
+        assert cfg.core.lq_entries == 68
+        assert cfg.core.sq_entries == 72
+        assert cfg.core.btb_entries == 8192
+        assert cfg.core.branch_predictor == "BiModeBP"
+
+    def test_table1_cache_column(self):
+        cfg = gem5_default()
+        assert cfg.hierarchy.l1i.size == 64 * KIB
+        assert cfg.hierarchy.l1d.size == 64 * KIB
+        assert cfg.hierarchy.l2.size == 1 * MIB
+        assert cfg.hierarchy.l2.assoc == 8
+
+    def test_table1_network_column(self):
+        cfg = gem5_default()
+        assert cfg.link_bandwidth_bps == 100e9
+        assert cfg.link_delay_us == 200.0
+
+    def test_dca_default_enabled(self):
+        assert gem5_default().hierarchy.dca_enabled
+
+    def test_hardware_loadgen(self):
+        assert gem5_default().software_loadgen_max_pps is None
+
+
+class TestAltraPreset:
+    def test_ddio_disabled(self):
+        """Table I: DCA/DDIO disabled on the Altra."""
+        assert not altra().hierarchy.dca_enabled
+
+    def test_faster_dram(self):
+        assert (altra().hierarchy.dram.channel_bw_bytes_per_ns
+                > gem5_default().hierarchy.dram.channel_bw_bytes_per_ns)
+
+    def test_real_core_outperforms_model(self):
+        assert altra().core.efficiency > 1.0
+
+    def test_software_client_ceiling(self):
+        cfg = altra()
+        assert cfg.software_loadgen_max_pps == ALTRA_CLIENT_MAX_PPS
+        # ~8 Gbps at 64B, ~16 Gbps at 128B (Fig 6).
+        assert cfg.software_loadgen_max_pps * 64 * 8 / 1e9 == \
+            pytest.approx(8.0, rel=0.1)
+
+
+class TestBaselinePreset:
+    def test_all_quirks_active(self):
+        cfg = gem5_baseline()
+        assert not cfg.pci_quirks.interrupt_disable_implemented
+        assert not cfg.pci_quirks.byte_granular_command_access
+        assert not cfg.nic.quirks.imr_implemented
+        assert not cfg.nic.quirks.pmd_writeback_threshold_works
+        assert not cfg.eal.skip_vendor_check
+
+
+class TestSweepHelpers:
+    def test_l1_sets_both_caches(self):
+        cfg = with_l1_size(gem5_default(), 128 * KIB)
+        assert cfg.hierarchy.l1i.size == 128 * KIB
+        assert cfg.hierarchy.l1d.size == 128 * KIB
+
+    def test_l2(self):
+        assert with_l2_size(gem5_default(),
+                            4 * MIB).hierarchy.l2.size == 4 * MIB
+
+    def test_llc(self):
+        assert with_llc_size(gem5_default(),
+                             64 * MIB).hierarchy.llc.size == 64 * MIB
+
+    def test_llc_resize_keeps_dca_ways(self):
+        cfg = with_llc_size(gem5_default(), 16 * MIB)
+        assert cfg.hierarchy.llc.reserved_io_ways == 4
+
+    def test_dca_toggle(self):
+        assert not with_dca(gem5_default(), False).hierarchy.dca_enabled
+        assert with_dca(gem5_default(), True,
+                        io_ways=2).hierarchy.llc.reserved_io_ways == 2
+
+    def test_frequency(self):
+        assert with_frequency(gem5_default(), 4e9).core.freq_hz == 4e9
+
+    def test_rob(self):
+        assert with_rob(gem5_default(), 512).core.rob_entries == 512
+
+    def test_core_type(self):
+        assert not with_core(gem5_default(), ooo=False).core.ooo
+
+    def test_channels(self):
+        assert with_dram_channels(gem5_default(),
+                                  8).hierarchy.dram.channels == 8
+
+    def test_helpers_do_not_mutate_base(self):
+        base = gem5_default()
+        with_l2_size(base, 8 * MIB)
+        with_frequency(base, 1e9)
+        assert base.hierarchy.l2.size == 1 * MIB
+        assert base.core.freq_hz == 3e9
