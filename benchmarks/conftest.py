@@ -8,6 +8,11 @@ Scope control: set ``REPRO_BENCH_SCALE=full`` for the paper's full
 parameter grids; the default ``quick`` scale trims packet-size and sweep
 grids so the whole suite finishes in minutes while preserving every
 figure's shape.
+
+Executor control: ``REPRO_BENCH_JOBS=N`` fans each figure's sweep points
+across N worker processes and ``REPRO_BENCH_CACHE=DIR`` replays
+unchanged points from an on-disk cache — results are bit-identical
+either way (see docs/parallel_sweeps.md).
 """
 
 import os
@@ -42,6 +47,9 @@ class BenchScope:
         self.rps_grid = ([100e3, 200e3, 300e3, 400e3, 500e3, 600e3,
                           700e3, 800e3] if full
                          else [100e3, 250e3, 400e3, 600e3, 750e3])
+        # Sweep executor: worker process count and result cache.
+        self.jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+        self.cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,9 @@ from repro.harness.report import format_table
 
 def test_fig05_drop_breakdown(benchmark, scope, save_result):
     result = benchmark.pedantic(
-        fig5_drop_breakdown, kwargs={"n_packets": scope.n_packets},
+        fig5_drop_breakdown,
+        kwargs={"n_packets": scope.n_packets,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     rows = []
     for label, data in result.items():

@@ -15,7 +15,8 @@ def test_fig06_testpmd_bw_drop(benchmark, scope, save_result):
         fig6_testpmd_bw_drop,
         kwargs={"packet_sizes": scope.sizes_bwdrop,
                 "rates": scope.bw_rates,
-                "n_packets": scope.n_packets},
+                "n_packets": scope.n_packets,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     text = format_series(
         "Fig 6: TestPMD bandwidth vs drop rate (gem5 vs altra)",

@@ -15,7 +15,8 @@ def test_fig07_touchfwd_bw_drop(benchmark, scope, save_result):
         fig7_touchfwd_bw_drop,
         kwargs={"packet_sizes": scope.sizes_bwdrop,
                 "rates": [2, 4, 6, 8, 10, 12, 14],
-                "n_packets": scope.n_packets},
+                "n_packets": scope.n_packets,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     text = format_series(
         "Fig 7: TouchFwd bandwidth vs drop rate (gem5 vs altra)",

@@ -15,7 +15,8 @@ def test_fig09_rxptx1us_bw_drop(benchmark, scope, save_result):
         fig9_rxptx1us_bw_drop,
         kwargs={"packet_sizes": scope.sizes_bwdrop,
                 "rates": [2, 6, 10, 15, 25, 40, 55],
-                "n_packets": scope.n_packets},
+                "n_packets": scope.n_packets,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     text = format_series(
         "Fig 9: RXpTX-1us bandwidth vs drop rate (gem5 vs altra)",

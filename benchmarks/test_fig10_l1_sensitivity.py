@@ -20,7 +20,8 @@ def _flatten(result):
 def test_fig10_l1_sensitivity(benchmark, scope, save_result):
     result = benchmark.pedantic(
         fig10_l1_sensitivity,
-        kwargs={"packet_sizes": scope.sizes_sensitivity},
+        kwargs={"packet_sizes": scope.sizes_sensitivity,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     text = format_series(
         "Fig 10: MSB (Gbps) / RPS (k) vs L1 cache size",

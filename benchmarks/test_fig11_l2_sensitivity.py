@@ -18,7 +18,8 @@ def _flatten(result):
 def test_fig11_l2_sensitivity(benchmark, scope, save_result):
     result = benchmark.pedantic(
         fig11_l2_sensitivity,
-        kwargs={"packet_sizes": scope.sizes_sensitivity},
+        kwargs={"packet_sizes": scope.sizes_sensitivity,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     text = format_series(
         "Fig 11: MSB (Gbps) / RPS (k) vs L2 cache size",

@@ -17,7 +17,8 @@ def _flatten(result):
 def test_fig12_llc_sensitivity(benchmark, scope, save_result):
     result = benchmark.pedantic(
         fig12_llc_sensitivity,
-        kwargs={"packet_sizes": scope.sizes_sensitivity},
+        kwargs={"packet_sizes": scope.sizes_sensitivity,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     text = format_series(
         "Fig 12: MSB (Gbps) / RPS (k) vs LLC size",

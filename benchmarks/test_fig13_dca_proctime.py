@@ -15,7 +15,8 @@ def test_fig13_dca_proctime(benchmark, scope, save_result):
         fig13_dca_proctime,
         kwargs={"packet_sizes": [64, 256, 1518],
                 "proc_times_ns": scope.proc_times,
-                "n_packets": scope.n_packets},
+                "n_packets": scope.n_packets,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     series = {}
     for size, rows in result.items():

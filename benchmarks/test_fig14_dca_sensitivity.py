@@ -19,7 +19,8 @@ def _flatten(result):
 def test_fig14_dca_sensitivity(benchmark, scope, save_result):
     result = benchmark.pedantic(
         fig14_dca_sensitivity,
-        kwargs={"packet_sizes": scope.sizes_sensitivity},
+        kwargs={"packet_sizes": scope.sizes_sensitivity,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     text = format_series(
         "Fig 14: MSB (Gbps) / RPS (k) with DCA enabled vs disabled",

@@ -20,7 +20,8 @@ def test_fig15_frequency(benchmark, scope, save_result):
     result = benchmark.pedantic(
         fig15_frequency,
         kwargs={"packet_sizes": scope.sizes_sensitivity,
-                "freqs_ghz": scope.freqs},
+                "freqs_ghz": scope.freqs,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     text = format_series(
         "Fig 15: MSB (Gbps) / RPS (k) vs core frequency",

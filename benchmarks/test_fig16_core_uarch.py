@@ -17,7 +17,9 @@ def _flatten(result):
 
 def test_fig16_core_uarch(benchmark, scope, save_result):
     result = benchmark.pedantic(
-        fig16_core_uarch, kwargs={"packet_sizes": scope.sizes_pair},
+        fig16_core_uarch,
+        kwargs={"packet_sizes": scope.sizes_pair,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     text = format_series(
         "Fig 16: MSB (Gbps) / RPS (k), out-of-order vs in-order core",

@@ -21,7 +21,9 @@ def _flatten(result):
 
 def test_fig17a_memory_channels(benchmark, scope, save_result):
     result = benchmark.pedantic(
-        fig17_channels, kwargs={"packet_sizes": scope.sizes_pair},
+        fig17_channels,
+        kwargs={"packet_sizes": scope.sizes_pair,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     text = format_series(
         "Fig 17a-c: MSB (Gbps) vs DRAM channels (DCA disabled)",
@@ -37,7 +39,9 @@ def test_fig17a_memory_channels(benchmark, scope, save_result):
 
 def test_fig17d_rob_size(benchmark, scope, save_result):
     result = benchmark.pedantic(
-        fig17_rob, kwargs={"packet_sizes": scope.sizes_pair},
+        fig17_rob,
+        kwargs={"packet_sizes": scope.sizes_pair,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     text = format_series(
         "Fig 17d-f: MSB (Gbps) vs ROB entries",

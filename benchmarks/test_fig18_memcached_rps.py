@@ -12,7 +12,8 @@ def test_fig18_memcached_rps(benchmark, scope, save_result):
     result = benchmark.pedantic(
         fig18_memcached_rps,
         kwargs={"rps_points": scope.rps_grid,
-                "n_requests": scope.memcached_requests},
+                "n_requests": scope.memcached_requests,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     text = format_series(
         "Fig 18: memcached requests/second vs drop rate",

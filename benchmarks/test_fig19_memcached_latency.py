@@ -14,7 +14,8 @@ def test_fig19_memcached_latency(benchmark, scope, save_result):
         fig19_memcached_latency,
         kwargs={"freqs_ghz": [1.0, 3.0] if not scope.full
                 else [1.0, 2.0, 3.0, 4.0],
-                "n_requests": scope.memcached_requests},
+                "n_requests": scope.memcached_requests,
+                "jobs": scope.jobs, "cache_dir": scope.cache_dir},
         rounds=1, iterations=1)
     series = {}
     for app, per_freq in result.items():

@@ -9,8 +9,11 @@ from repro.harness.experiments import headline_speedup
 from repro.harness.report import format_table
 
 
-def test_headline_6x(benchmark, save_result):
-    result = benchmark.pedantic(headline_speedup, rounds=1, iterations=1)
+def test_headline_6x(benchmark, scope, save_result):
+    result = benchmark.pedantic(
+        headline_speedup,
+        kwargs={"jobs": scope.jobs, "cache_dir": scope.cache_dir},
+        rounds=1, iterations=1)
     table = format_table(
         "Headline: DPDK vs kernel-stack bandwidth (1518B frames)",
         ["metric", "value"],

@@ -9,24 +9,39 @@
 - ``table1``    — print the platform configurations
 - ``apps``      — list the registered applications
 
+Every simulation routes through the parallel sweep executor:
+``--jobs N`` fans a sweep's points out across N worker processes and
+``--cache-dir DIR`` replays unchanged points from an on-disk result
+cache (see docs/parallel_sweeps.md).  Results are bit-identical
+regardless of ``--jobs`` and cache state.
+
 Examples::
 
     python -m repro run testpmd --size 256 --gbps 20
     python -m repro msb touchfwd --size 1518 --max-gbps 20 --platform altra
-    python -m repro sweep testpmd --size 64 --rates 5,10,15,20
+    python -m repro sweep testpmd --size 64 --rates 5,10,15,20 --jobs 4
+    python -m repro sweep testpmd --size 64 --rates 5,10,15,20 \\
+        --jobs 4 --cache-dir ~/.cache/repro-sweeps
     python -m repro memcached --kernel --rps 200000
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.harness.experiments import table1_configs
-from repro.harness.msb import bandwidth_sweep, find_msb
-from repro.harness.report import format_table
-from repro.harness.runner import APP_REGISTRY, run_fixed_load, run_memcached
+from repro.harness.msb import bandwidth_sweep
+from repro.harness.parallel import (
+    SweepExecutor,
+    fixed_load_point,
+    memcached_point,
+    msb_point,
+)
+from repro.harness.report import format_executor_summary, format_table
+from repro.harness.runner import APP_REGISTRY
 from repro.system.config import SystemConfig
 from repro.system.presets import altra, gem5_baseline, gem5_default
 
@@ -50,11 +65,31 @@ def _app_options(args) -> Optional[dict]:
     return None
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}")
+    return value
+
+
+def _executor_from(args) -> SweepExecutor:
+    return SweepExecutor(jobs=getattr(args, "jobs", 1),
+                         cache_dir=getattr(args, "cache_dir", None))
+
+
+def _report_executor(args, ex: SweepExecutor) -> None:
+    """Show what the executor did when the user opted into jobs/cache."""
+    if getattr(args, "jobs", 1) > 1 or getattr(args, "cache_dir", None):
+        print(format_executor_summary(ex.stats, jobs=ex.jobs))
+
+
 def _cmd_run(args) -> int:
-    result = run_fixed_load(
+    ex = _executor_from(args)
+    result = ex.run([fixed_load_point(
         _platform(args.platform), args.app, args.size, args.gbps,
         n_packets=args.packets, app_options=_app_options(args),
-        seed=args.seed)
+        seed=args.seed)])[0]
     print(format_table(
         f"{args.app} @ {result.offered_gbps:.2f} Gbps, "
         f"{args.size}B frames ({result.label})",
@@ -68,38 +103,44 @@ def _cmd_run(args) -> int:
          ["mean RTT us", f"{result.latency_us.get('mean', 0):.1f}"],
          ["p99 RTT us", f"{result.latency_us.get('p99', 0):.1f}"],
          ["LLC miss rate", f"{result.llc_miss_rate:.3f}"]]))
+    _report_executor(args, ex)
     return 0
 
 
 def _cmd_msb(args) -> int:
-    result = find_msb(
+    ex = _executor_from(args)
+    result = ex.run([msb_point(
         _platform(args.platform), args.app, args.size,
         max_gbps=args.max_gbps, app_options=_app_options(args),
-        seed=args.seed)
+        seed=args.seed)])[0]
     print(f"{args.app} {args.size}B on {result.label}: "
           f"MSB = {result.msb_gbps:.2f} Gbps")
     for offered, drop in result.curve:
         print(f"    probe {offered:7.2f} Gbps -> {drop * 100:5.1f}% drop")
+    _report_executor(args, ex)
     return 0
 
 
 def _cmd_sweep(args) -> int:
     rates = [float(r) for r in args.rates.split(",")]
+    ex = _executor_from(args)
     points = bandwidth_sweep(
         _platform(args.platform), args.app, args.size, rates_gbps=rates,
         n_packets=args.packets, app_options=_app_options(args),
-        seed=args.seed)
+        seed=args.seed, executor=ex)
     print(format_table(
         f"{args.app} {args.size}B bandwidth vs drop ({args.platform})",
         ["offered Gbps", "drop rate"],
         [[f"{x:.2f}", f"{d * 100:.2f}%"] for x, d in points]))
+    _report_executor(args, ex)
     return 0
 
 
 def _cmd_memcached(args) -> int:
-    result = run_memcached(
+    ex = _executor_from(args)
+    result = ex.run([memcached_point(
         _platform(args.platform), kernel=args.kernel, rate_rps=args.rps,
-        n_requests=args.requests, seed=args.seed)
+        n_requests=args.requests, seed=args.seed)])[0]
     flavour = "MemcachedKernel" if args.kernel else "MemcachedDPDK"
     print(format_table(
         f"{flavour} @ {args.rps / 1000:.0f} kRPS ({result.label})",
@@ -110,6 +151,7 @@ def _cmd_memcached(args) -> int:
          ["median RTT us", f"{result.latency_us.get('median', 0):.1f}"],
          ["p99 RTT us", f"{result.latency_us.get('p99', 0):.1f}"],
          ["GET hits/misses", f"{result.get_hits}/{result.get_misses}"]]))
+    _report_executor(args, ex)
     return 0
 
 
@@ -152,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--platform", default="gem5",
                        choices=sorted(PLATFORMS))
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--jobs", type=_positive_int,
+                       default=int(os.environ.get("REPRO_JOBS", "1")),
+                       help="worker processes for independent sweep "
+                            "points (default: REPRO_JOBS or 1)")
+        p.add_argument("--cache-dir", dest="cache_dir",
+                       default=os.environ.get("REPRO_CACHE_DIR") or None,
+                       help="on-disk result cache; unchanged points "
+                            "replay for free (default: REPRO_CACHE_DIR)")
 
     p_run = sub.add_parser("run", help="one fixed-load run")
     common(p_run)

@@ -2,7 +2,8 @@
 
 Run primitives (fixed-load runs, bandwidth ramps, memcached request
 sweeps), the maximum-sustainable-bandwidth search, per-figure experiment
-functions covering every table and figure in the paper's evaluation, and
+functions covering every table and figure in the paper's evaluation, the
+parallel sweep executor with its deterministic-replay result cache, and
 plain-text report rendering.
 """
 
@@ -15,7 +16,22 @@ from repro.harness.runner import (
     run_memcached,
 )
 from repro.harness.msb import MsbResult, bandwidth_sweep, find_msb
-from repro.harness.report import format_series, format_table
+from repro.harness.parallel import (
+    ResultCache,
+    SweepExecutor,
+    SweepPoint,
+    SweepPointError,
+    SweepTimeoutError,
+    fixed_load_point,
+    memcached_point,
+    msb_point,
+    run_points,
+)
+from repro.harness.report import (
+    format_executor_summary,
+    format_series,
+    format_table,
+)
 
 __all__ = [
     "APP_REGISTRY",
@@ -27,6 +43,16 @@ __all__ = [
     "MsbResult",
     "bandwidth_sweep",
     "find_msb",
+    "ResultCache",
+    "SweepExecutor",
+    "SweepPoint",
+    "SweepPointError",
+    "SweepTimeoutError",
+    "fixed_load_point",
+    "memcached_point",
+    "msb_point",
+    "run_points",
+    "format_executor_summary",
     "format_series",
     "format_table",
 ]

@@ -49,6 +49,14 @@ class MsbResult:
             return None
         return min(self.curve, key=lambda pt: abs(pt[0] - gbps))[1]
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "MsbResult":
+        """Rebuild from ``dataclasses.asdict`` output (tolerating the
+        JSON round trip, which decodes curve tuples as lists)."""
+        data = dict(data)
+        data["curve"] = [tuple(pt) for pt in data.get("curve", [])]
+        return cls(**data)
+
 
 def _clamped_ceiling(config: SystemConfig, packet_size: int,
                      gbps: float) -> float:
@@ -98,21 +106,50 @@ def find_msb(config: SystemConfig, app_name: str, packet_size: int,
                      packet_size=packet_size, msb_gbps=msb, curve=curve)
 
 
+def sweep_rates(config: SystemConfig, packet_size: int,
+                rates_gbps: List[float]) -> List[float]:
+    """The effective per-point rates of a sweep: each offered rate is
+    clamped by the software-client ceiling, and consecutive duplicates
+    collapse — the curve simply ends at the ceiling (as altra's does in
+    Fig 6)."""
+    rates: List[float] = []
+    for gbps in rates_gbps:
+        clamped = _clamped_ceiling(config, packet_size, gbps)
+        if rates and abs(clamped - rates[-1]) < 1e-9:
+            continue
+        rates.append(clamped)
+    return rates
+
+
+def sweep_points(config: SystemConfig, app_name: str, packet_size: int,
+                 rates_gbps: List[float], n_packets: int = 1500,
+                 app_options: Optional[dict] = None, seed: int = 0):
+    """The independent :class:`~repro.harness.parallel.SweepPoint` list
+    for one bandwidth-vs-drop curve."""
+    from repro.harness.parallel import fixed_load_point
+    return [fixed_load_point(config, app_name, packet_size, rate,
+                             n_packets=n_packets, app_options=app_options,
+                             seed=seed)
+            for rate in sweep_rates(config, packet_size, rates_gbps)]
+
+
 def bandwidth_sweep(config: SystemConfig, app_name: str, packet_size: int,
                     rates_gbps: List[float], n_packets: int = 1500,
                     app_options: Optional[dict] = None,
-                    seed: int = 0) -> List[Tuple[float, float]]:
+                    seed: int = 0, jobs: int = 1, cache_dir=None,
+                    executor=None) -> List[Tuple[float, float]]:
     """The bandwidth-vs-drop-rate curve (Figs 6-9): one independent
-    fixed-rate run per point.  Returns (offered_gbps, drop_rate) pairs."""
-    points: List[Tuple[float, float]] = []
-    for i, gbps in enumerate(rates_gbps):
-        clamped = _clamped_ceiling(config, packet_size, gbps)
-        if points and abs(clamped - points[-1][0]) < 1e-9:
-            # The software client ceiling flattens further points; the
-            # curve simply ends there (as altra's does in Fig 6).
-            continue
-        result = run_fixed_load(config, app_name, packet_size, clamped,
-                                n_packets=n_packets,
-                                app_options=app_options, seed=seed + i)
-        points.append((result.offered_gbps, result.drop_rate))
-    return points
+    fixed-rate run per point.  Returns (offered_gbps, drop_rate) pairs.
+
+    Points route through a :class:`~repro.harness.parallel.SweepExecutor`
+    (``jobs=1`` by default — the serial reference path), so ``jobs``/
+    ``cache_dir`` fan the sweep out across processes and replay cached
+    points for free.
+    """
+    from repro.harness.parallel import SweepExecutor
+    points = sweep_points(config, app_name, packet_size, rates_gbps,
+                          n_packets=n_packets, app_options=app_options,
+                          seed=seed)
+    ex = executor or SweepExecutor(jobs=jobs, cache_dir=cache_dir)
+    results = ex.run(points)
+    return [(r.offered_gbps, r.drop_rate) for r in results]

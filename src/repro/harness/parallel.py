@@ -1,0 +1,596 @@
+"""Parallel sweep execution with deterministic replay.
+
+Every figure in the paper is a sweep of *independent* fixed-rate
+simulations (app x packet size x offered load x configuration), yet the
+harness historically ran each point serially in one process.  This module
+fans sweep points out across worker processes — the dist-gem5 observation
+(paper §II.B) that independent simulation instances parallelise trivially
+— while keeping the property the harness is built on: bit-identical
+results for identical inputs.
+
+Three pieces:
+
+:class:`SweepPoint`
+    One simulation invocation, described by plain data: a kind
+    (``fixed_load`` / ``memcached`` / ``msb``), a :class:`SystemConfig`,
+    the application, the load, and a base seed.  The point's *effective*
+    seed is derived from the base seed and a canonical label through
+    :meth:`repro.sim.rng.DeterministicRng.fork`, so every point owns an
+    independent random stream and adding/removing points never perturbs
+    the streams of the others (positional ``seed + i`` schemes do).
+
+:class:`ResultCache`
+    An on-disk result store keyed by a stable SHA-256 digest of
+    ``(schema version, kind, SystemConfig, app, load, n_packets,
+    app_options, seed)``.  Re-running an unchanged point is free;
+    corrupted entries are detected, discarded, and recomputed.
+
+:class:`SweepExecutor`
+    The scheduler.  ``jobs=1`` executes in-process (the reference serial
+    path); ``jobs>1`` runs up to ``jobs`` worker processes with a
+    per-point timeout and a bounded retry policy.  A worker that dies
+    without reporting (crash, OOM-kill) is retried in a fresh process;
+    once retries are exhausted the point falls back to in-process serial
+    execution.  Timeouts are retried the same way but raise
+    :class:`SweepTimeoutError` when exhausted — a hanging simulation
+    would hang the serial fallback too.
+
+Determinism guarantee: for the same list of points, the executor returns
+the same results whether ``jobs`` is 1 or N, whether results came from
+workers or the cache, and across runs — each simulation is hermetic in
+``(config, effective seed)``.
+
+The ``_poison_*`` kinds are failure injection hooks for the test suite
+(worker crash, hang, exception); they never run simulations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import queue as queue_lib
+import time
+import traceback
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.msb import MsbResult, find_msb
+from repro.harness.runner import (
+    FixedLoadResult,
+    MemcachedRunResult,
+    run_fixed_load,
+    run_memcached,
+)
+from repro.sim.rng import DeterministicRng
+from repro.system.config import SystemConfig
+
+# Bump when the cached payload's semantics change (new result fields with
+# different meaning, changed seeding scheme, ...): old entries then miss
+# instead of silently replaying stale results.
+CACHE_VERSION = 1
+
+KIND_FIXED_LOAD = "fixed_load"
+KIND_MEMCACHED = "memcached"
+KIND_MSB = "msb"
+
+
+# ----------------------------------------------------------------------
+# Sweep points
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation invocation.
+
+    ``load`` is the offered rate: Gbps for ``fixed_load``, requests/s for
+    ``memcached``, and the search ceiling (max Gbps) for ``msb``.
+    ``n_packets`` doubles as ``n_requests`` for memcached points.
+    """
+
+    kind: str
+    config: Optional[SystemConfig] = None
+    app: str = ""
+    packet_size: int = 0
+    load: float = 0.0
+    n_packets: int = 0
+    app_options: Optional[Dict[str, Any]] = None
+    seed: int = 0
+
+    @property
+    def rng_label(self) -> str:
+        """The canonical per-point RNG label (stable across grid edits)."""
+        opts = json.dumps(self.app_options or {}, sort_keys=True)
+        return (f"{self.kind}:{self.app}:{self.packet_size}:"
+                f"{self.load!r}:{self.n_packets}:{opts}")
+
+    @property
+    def effective_seed(self) -> int:
+        """The seed the simulation actually runs with: an independent
+        stream forked from the base seed by the point's label."""
+        return DeterministicRng(self.seed).fork(self.rng_label).seed
+
+    def describe(self) -> str:
+        """Short human-readable label for logs and cache metadata."""
+        cfg = self.config.label if self.config is not None else "-"
+        return (f"{self.kind} {self.app or '-'} {self.packet_size}B "
+                f"@ {self.load:g} on {cfg} (seed {self.seed})")
+
+
+def fixed_load_point(config: SystemConfig, app: str, packet_size: int,
+                     gbps: float, n_packets: int = 2000,
+                     app_options: Optional[dict] = None,
+                     seed: int = 0) -> SweepPoint:
+    """A :func:`repro.harness.runner.run_fixed_load` invocation."""
+    return SweepPoint(kind=KIND_FIXED_LOAD, config=config, app=app,
+                      packet_size=packet_size, load=float(gbps),
+                      n_packets=n_packets, app_options=app_options,
+                      seed=seed)
+
+
+def memcached_point(config: SystemConfig, kernel: bool, rate_rps: float,
+                    n_requests: int = 2500, seed: int = 0) -> SweepPoint:
+    """A :func:`repro.harness.runner.run_memcached` invocation."""
+    app = "memcached_kernel" if kernel else "memcached_dpdk"
+    return SweepPoint(kind=KIND_MEMCACHED, config=config, app=app,
+                      load=float(rate_rps), n_packets=n_requests, seed=seed)
+
+
+def msb_point(config: SystemConfig, app: str, packet_size: int,
+              max_gbps: float = 70.0, n_packets: int = 2500,
+              app_options: Optional[dict] = None,
+              seed: int = 0) -> SweepPoint:
+    """A whole :func:`repro.harness.msb.find_msb` search as one point."""
+    return SweepPoint(kind=KIND_MSB, config=config, app=app,
+                      packet_size=packet_size, load=float(max_gbps),
+                      n_packets=n_packets, app_options=app_options,
+                      seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Point execution and result (de)serialisation
+# ----------------------------------------------------------------------
+
+def _run_fixed(point: SweepPoint):
+    return run_fixed_load(point.config, point.app, point.packet_size,
+                          point.load, n_packets=point.n_packets,
+                          app_options=point.app_options,
+                          seed=point.effective_seed)
+
+
+def _run_memcached(point: SweepPoint):
+    kernel = point.app == "memcached_kernel"
+    return run_memcached(point.config, kernel, point.load,
+                         n_requests=point.n_packets,
+                         seed=point.effective_seed)
+
+
+def _run_msb(point: SweepPoint):
+    return find_msb(point.config, point.app, point.packet_size,
+                    max_gbps=point.load, n_packets=point.n_packets,
+                    app_options=point.app_options,
+                    seed=point.effective_seed)
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def _poison_raise(point: SweepPoint):
+    raise RuntimeError("poisoned sweep point: injected exception")
+
+
+def _poison_hang(point: SweepPoint):
+    time.sleep(3600.0)
+
+
+def _poison_crash(point: SweepPoint):
+    # Hard worker death (no exception, no result) in a worker; the serial
+    # in-process fallback fails too — the unrecoverable-point case.
+    if _in_worker():
+        os._exit(17)
+    raise RuntimeError("poisoned sweep point: crashes everywhere")
+
+
+def _poison_child_crash(point: SweepPoint):
+    # Dies only inside a worker process; succeeds in-process — exercises
+    # the graceful serial fallback after worker death.
+    if _in_worker():
+        os._exit(17)
+    return {"ok": True, "via": "serial-fallback", "seed": point.seed}
+
+
+_KIND_HANDLERS: Dict[str, Callable[[SweepPoint], Any]] = {
+    KIND_FIXED_LOAD: _run_fixed,
+    KIND_MEMCACHED: _run_memcached,
+    KIND_MSB: _run_msb,
+    "_poison_raise": _poison_raise,
+    "_poison_hang": _poison_hang,
+    "_poison_crash": _poison_crash,
+    "_poison_child_crash": _poison_child_crash,
+}
+
+
+def execute_point(point: SweepPoint):
+    """Run one sweep point in the current process, returning the result
+    object (:class:`FixedLoadResult` / :class:`MemcachedRunResult` /
+    :class:`MsbResult`)."""
+    handler = _KIND_HANDLERS.get(point.kind)
+    if handler is None:
+        raise ValueError(f"unknown sweep point kind {point.kind!r}; "
+                         f"expected one of {sorted(_KIND_HANDLERS)}")
+    return handler(point)
+
+
+_RESULT_TYPES = {
+    "FixedLoadResult": FixedLoadResult,
+    "MemcachedRunResult": MemcachedRunResult,
+    "MsbResult": MsbResult,
+}
+
+
+def encode_result(result: Any) -> dict:
+    """A JSON/pickle-safe payload for a point's result."""
+    if isinstance(result, dict):
+        return {"result_type": "dict", "data": result}
+    name = type(result).__name__
+    if name not in _RESULT_TYPES:
+        raise TypeError(f"cannot encode result of type {name}")
+    return {"result_type": name, "data": asdict(result)}
+
+
+def decode_result(payload: dict) -> Any:
+    """Reconstruct the result object from :func:`encode_result` output.
+
+    Normalises JSON round-trip artefacts (tuples decoded as lists) so a
+    cached result compares equal to a freshly computed one.
+    """
+    name = payload["result_type"]
+    data = payload["data"]
+    if name == "dict":
+        return data
+    cls = _RESULT_TYPES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown result type {name!r}")
+    return cls.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+
+def cache_key(point: SweepPoint) -> str:
+    """Stable digest of everything the simulation's outcome depends on."""
+    payload = {
+        "version": CACHE_VERSION,
+        "kind": point.kind,
+        "config": (point.config.canonical_dict()
+                   if point.config is not None else None),
+        "app": point.app,
+        "packet_size": point.packet_size,
+        "load": point.load,
+        "n_packets": point.n_packets,
+        "app_options": point.app_options or {},
+        "seed": point.seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """One JSON file per completed sweep point, named by its cache key.
+
+    Any unreadable, mismatched, or undecodable entry counts as corrupt:
+    it is deleted and the point recomputed — a damaged cache can slow a
+    sweep down but never change its results.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.corrupt_entries = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored result payload, or None on miss/corruption."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            blob = json.loads(path.read_text())
+            if blob.get("version") != CACHE_VERSION or blob.get("key") != key:
+                raise ValueError("cache entry metadata mismatch")
+            payload = blob["result"]
+            decode_result(payload)    # validate before trusting
+            return payload
+        except Exception:
+            self.corrupt_entries += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, payload: dict, point: SweepPoint) -> None:
+        """Atomically store one result (write-to-temp then rename)."""
+        blob = {"version": CACHE_VERSION, "key": key,
+                "point": point.describe(), "result": payload}
+        tmp = self.path_for(key).with_suffix(".tmp")
+        tmp.write_text(json.dumps(blob, sort_keys=True))
+        os.replace(tmp, self.path_for(key))
+
+
+# ----------------------------------------------------------------------
+# Executor
+# ----------------------------------------------------------------------
+
+class SweepPointError(RuntimeError):
+    """A sweep point failed permanently (worker error and the serial
+    fallback failed too, or the worker raised)."""
+
+    def __init__(self, point: SweepPoint, detail: str) -> None:
+        super().__init__(f"sweep point failed: {point.describe()}\n{detail}")
+        self.point = point
+        self.detail = detail
+
+
+class SweepTimeoutError(SweepPointError):
+    """A sweep point exceeded its per-attempt timeout on every attempt."""
+
+
+@dataclass
+class ExecutorStats:
+    """Counters for one executor's lifetime, exposed for tests/reports."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_corrupt: int = 0
+    executed: int = 0          # simulations that actually ran to completion
+    deduped: int = 0           # points satisfied by an identical twin
+    retries: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    serial_fallbacks: int = 0
+    wall_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(asdict(self))
+
+
+def _worker_main(result_queue, index: int, point: SweepPoint) -> None:
+    """Worker entry: run one point, report (index, status, payload)."""
+    try:
+        payload = encode_result(execute_point(point))
+    except BaseException as exc:   # report, don't kill the whole sweep
+        detail = (f"{type(exc).__name__}: {exc}\n"
+                  f"{traceback.format_exc()}")
+        result_queue.put((index, "error", detail))
+        return
+    result_queue.put((index, "ok", payload))
+
+
+def _default_context():
+    # fork is cheap and inherits test-registered state; fall back to the
+    # platform default (spawn on macOS/Windows) when unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class SweepExecutor:
+    """Runs batches of :class:`SweepPoint` with caching and fan-out.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (default) executes in-process —
+        the reference serial path the parallel results must match.
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables it.
+    timeout_s:
+        Per-attempt wall-clock budget for one point in a worker.
+    max_retries:
+        Extra attempts after the first for crashed or timed-out workers.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir=None,
+                 timeout_s: float = 600.0, max_retries: int = 1,
+                 mp_context=None) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = int(jobs)
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.timeout_s = float(timeout_s)
+        self.max_retries = int(max_retries)
+        self._ctx = mp_context or _default_context()
+        self.stats = ExecutorStats()
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, points: Sequence[SweepPoint]) -> List[Any]:
+        """Execute all points, in order, returning one result each.
+
+        Identical points (same cache key, hence provably the same
+        deterministic result) are computed once and shared.
+        """
+        t0 = time.monotonic()
+        points = list(points)
+        results: List[Optional[dict]] = [None] * len(points)
+        keys = [cache_key(p) for p in points]
+
+        # Cache hits first.
+        pending: List[int] = []
+        for i, key in enumerate(keys):
+            payload = self.cache.get(key) if self.cache else None
+            if payload is not None:
+                self.stats.cache_hits += 1
+                results[i] = payload
+            else:
+                if self.cache:
+                    self.stats.cache_misses += 1
+                pending.append(i)
+
+        # Dedupe identical pending points: one leader per key.
+        leaders: Dict[str, int] = {}
+        followers: Dict[int, int] = {}
+        unique: List[int] = []
+        for i in pending:
+            leader = leaders.setdefault(keys[i], i)
+            if leader == i:
+                unique.append(i)
+            else:
+                followers[i] = leader
+                self.stats.deduped += 1
+
+        if unique:
+            if self.jobs == 1 or len(unique) == 1:
+                executed = self._run_serial(unique, points)
+            else:
+                executed = self._run_parallel(unique, points)
+            for i, payload in executed.items():
+                results[i] = payload
+                self.stats.executed += 1
+                if self.cache:
+                    self.cache.put(keys[i], payload, points[i])
+        for i, leader in followers.items():
+            results[i] = results[leader]
+
+        if self.cache:
+            self.stats.cache_corrupt = self.cache.corrupt_entries
+        self.stats.wall_s += time.monotonic() - t0
+        return [decode_result(payload) for payload in results]
+
+    # -- serial path ---------------------------------------------------
+
+    def _run_serial(self, indices: List[int],
+                    points: List[SweepPoint]) -> Dict[int, dict]:
+        out: Dict[int, dict] = {}
+        for i in indices:
+            out[i] = self._execute_in_process(points[i])
+        return out
+
+    def _execute_in_process(self, point: SweepPoint) -> dict:
+        try:
+            return encode_result(execute_point(point))
+        except Exception as exc:
+            raise SweepPointError(
+                point, f"{type(exc).__name__}: {exc}") from exc
+
+    # -- parallel path -------------------------------------------------
+
+    def _run_parallel(self, indices: List[int],
+                      points: List[SweepPoint]) -> Dict[int, dict]:
+        """Process-pool scheduler with timeout, retry, and fallback."""
+        ctx = self._ctx
+        result_queue = ctx.Queue()
+        out: Dict[int, dict] = {}
+        work = deque((i, 0) for i in indices)           # (index, attempt)
+        running: Dict[int, list] = {}                   # index -> state
+
+        def launch(index: int, attempt: int) -> None:
+            proc = ctx.Process(target=_worker_main,
+                               args=(result_queue, index, points[index]),
+                               daemon=True)
+            proc.start()
+            running[index] = [proc, time.monotonic() + self.timeout_s,
+                              attempt]
+
+        def reap(index: int) -> None:
+            entry = running.pop(index, None)
+            if entry is not None:
+                entry[0].join(timeout=5.0)
+
+        def shutdown() -> None:
+            for proc, _deadline, _attempt in running.values():
+                if proc.is_alive():
+                    proc.terminate()
+            for proc, _deadline, _attempt in running.values():
+                proc.join(timeout=5.0)
+            running.clear()
+
+        try:
+            while work or running:
+                while work and len(running) < self.jobs:
+                    index, attempt = work.popleft()
+                    launch(index, attempt)
+
+                try:
+                    index, status, payload = result_queue.get(timeout=0.05)
+                except queue_lib.Empty:
+                    pass
+                else:
+                    reap(index)
+                    if status == "ok":
+                        out[index] = payload
+                    else:
+                        raise SweepPointError(points[index], payload)
+                    continue
+
+                now = time.monotonic()
+                for index in list(running):
+                    proc, deadline, attempt = running[index]
+                    if not proc.is_alive():
+                        # Dead without a queued result: give any buffered
+                        # message one chance to drain, then treat as a
+                        # crash.
+                        time.sleep(0.05)
+                        self._drain(result_queue, out, points)
+                        reap(index)
+                        if index in out:
+                            continue
+                        self.stats.crashes += 1
+                        if attempt < self.max_retries:
+                            self.stats.retries += 1
+                            work.append((index, attempt + 1))
+                        else:
+                            # Graceful fallback: the pool environment may
+                            # be the problem; run the point here.
+                            self.stats.serial_fallbacks += 1
+                            out[index] = self._execute_in_process(
+                                points[index])
+                    elif now > deadline:
+                        proc.terminate()
+                        reap(index)
+                        self.stats.timeouts += 1
+                        if attempt < self.max_retries:
+                            self.stats.retries += 1
+                            work.append((index, attempt + 1))
+                        else:
+                            raise SweepTimeoutError(
+                                points[index],
+                                f"no result within {self.timeout_s:.1f}s "
+                                f"after {attempt + 1} attempt(s)")
+        finally:
+            shutdown()
+        return out
+
+    def _drain(self, result_queue, out: Dict[int, dict],
+               points: List[SweepPoint]) -> bool:
+        """Pull any queued results without blocking; True if any arrived."""
+        drained = False
+        while True:
+            try:
+                index, status, payload = result_queue.get_nowait()
+            except queue_lib.Empty:
+                return drained
+            if status == "ok":
+                out[index] = payload
+                drained = True
+            else:
+                raise SweepPointError(points[index], payload)
+
+
+def run_points(points: Sequence[SweepPoint], jobs: int = 1,
+               cache_dir=None,
+               executor: Optional[SweepExecutor] = None) -> List[Any]:
+    """Convenience wrapper: run points through ``executor`` or a fresh
+    one built from ``jobs``/``cache_dir``."""
+    ex = executor or SweepExecutor(jobs=jobs, cache_dir=cache_dir)
+    return ex.run(points)

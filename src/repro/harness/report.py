@@ -38,6 +38,29 @@ def format_series(title: str, series: Dict[str, List[tuple]],
     return "\n".join(lines)
 
 
+def format_executor_summary(stats, jobs: int = 1) -> str:
+    """One-line account of what a sweep executor actually did.
+
+    ``stats`` is a :class:`repro.harness.parallel.ExecutorStats`.  Cache
+    counters only appear when a cache was in play, and failure counters
+    only when something failed, so the common all-clean case stays short.
+    """
+    parts = [f"{stats.executed} simulated"]
+    if jobs > 1:
+        parts.append(f"{jobs} jobs")
+    if stats.cache_hits or stats.cache_misses:
+        parts.append(f"{stats.cache_hits} cached")
+    if stats.deduped:
+        parts.append(f"{stats.deduped} deduped")
+    if stats.cache_corrupt:
+        parts.append(f"{stats.cache_corrupt} corrupt cache entries dropped")
+    for name in ("retries", "crashes", "timeouts", "serial_fallbacks"):
+        count = getattr(stats, name)
+        if count:
+            parts.append(f"{count} {name.replace('_', ' ')}")
+    return f"[sweep: {', '.join(parts)} in {stats.wall_s:.1f}s]"
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value == 0:

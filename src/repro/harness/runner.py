@@ -85,6 +85,12 @@ class FixedLoadResult:
         """Mean round-trip latency in microseconds."""
         return self.latency_us.get("mean", 0.0)
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "FixedLoadResult":
+        """Rebuild from ``dataclasses.asdict`` output (the shape the
+        parallel executor's cache and workers exchange)."""
+        return cls(**data)
+
 
 def _effective_rate(config: SystemConfig, gbps: float,
                     packet_size: int) -> float:
@@ -208,6 +214,12 @@ class MemcachedRunResult:
     def delivered_rps(self) -> float:
         """Offered rate scaled by the delivered fraction."""
         return self.offered_rps * (1.0 - self.drop_rate)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemcachedRunResult":
+        """Rebuild from ``dataclasses.asdict`` output (the shape the
+        parallel executor's cache and workers exchange)."""
+        return cls(**data)
 
 
 def run_memcached(config: SystemConfig, kernel: bool, rate_rps: float,

@@ -9,7 +9,9 @@ measured magnitudes.  Presets (``gem5_default``, ``altra``) live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Optional
 
 from repro.cpu.core import CoreConfig
@@ -62,6 +64,61 @@ class SystemConfig:
     # scaled down while serving the same purpose).
     warmup_us: float = 300.0
 
+    # Parameters that must be strictly positive / non-negative numbers.
+    _POSITIVE = ("iobus_bytes_per_sec", "link_bandwidth_bps",
+                 "nr_hugepages", "mempool_mbufs", "mbuf_size",
+                 "kernel_rx_ring")
+    _NON_NEGATIVE = ("iobus_latency_ns", "link_delay_us", "warmup_us")
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.label, str) or not self.label:
+            raise ValueError("SystemConfig.label must be a non-empty string")
+        for name in self._POSITIVE:
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(
+                    f"SystemConfig.{name} must be a positive number, "
+                    f"got {value!r}")
+        for name in self._NON_NEGATIVE:
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"SystemConfig.{name} must be a non-negative number, "
+                    f"got {value!r}")
+        pps = self.software_loadgen_max_pps
+        if pps is not None and (not isinstance(pps, (int, float))
+                                or pps <= 0):
+            raise ValueError(
+                "SystemConfig.software_loadgen_max_pps must be None or a "
+                f"positive number, got {pps!r}")
+
     def variant(self, **changes) -> "SystemConfig":
-        """A modified copy (dataclasses.replace with a nicer name)."""
+        """A modified copy (dataclasses.replace with a nicer name).
+
+        Unknown parameter names are rejected explicitly: a silent typo in
+        a sweep helper would otherwise produce a configuration that looks
+        varied but is not.
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(changes) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown SystemConfig parameter(s) {unknown}; "
+                f"valid parameters: {sorted(valid)}")
         return replace(self, **changes)
+
+    def canonical_dict(self) -> dict:
+        """The full nested configuration as plain dicts/scalars."""
+        return asdict(self)
+
+    def stable_hash(self) -> str:
+        """A process- and run-independent digest of the configuration.
+
+        Two equal configs always hash identically (canonical JSON with
+        sorted keys, hashed with SHA-256), so the digest is usable as an
+        on-disk cache key — unlike ``hash()``, which Python salts per
+        process for strings.
+        """
+        blob = json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"), default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()

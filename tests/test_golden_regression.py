@@ -1,0 +1,135 @@
+"""Golden regression tests for the paper's headline results.
+
+Each test recomputes a small, fast slice of a headline figure and
+compares it against a stored golden file in ``tests/golden/``.  Two
+layers of assertion:
+
+- **Invariants** the paper claims, independent of exact magnitudes:
+  the userspace-vs-kernel speedup is large, the dominant drop cause per
+  workload, and out-of-order beating in-order cores.  These hold even
+  if the simulator's calibration shifts.
+- **Golden values**: the computed numbers must match the stored ones
+  (tight relative tolerance — the harness is deterministic, so any
+  drift means behaviour changed).  After an *intentional* change,
+  regenerate with ``REPRO_REGEN_GOLDEN=1 pytest tests/test_golden_regression.py``
+  and review the diff like any other code change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import headline_speedup
+from repro.harness.parallel import (
+    SweepExecutor,
+    fixed_load_point,
+    msb_point,
+)
+from repro.system.presets import gem5_default, with_core
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REL_TOL = 1e-6
+
+# The fig-5 slice: one workload per drop family, kept small for speed.
+FIG5_SLICE = [
+    ("TestPMD-64B", "testpmd", 64, None),
+    ("TouchFwd-256B", "touchfwd", 256, None),
+    ("RXpTX-10ns", "rxptx", 256, {"proc_time_ns": 10.0}),
+]
+
+
+def _golden(name: str, computed: dict) -> dict:
+    """Load (or, under REPRO_REGEN_GOLDEN=1, rewrite) a golden file."""
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(computed, indent=2, sort_keys=True)
+                        + "\n")
+    if not path.exists():
+        pytest.fail(f"golden file {path} missing; generate it with "
+                    "REPRO_REGEN_GOLDEN=1")
+    return json.loads(path.read_text())
+
+
+def _assert_close(got, want, where=""):
+    """Recursive comparison with a tight float tolerance."""
+    if isinstance(want, dict):
+        assert sorted(got) == sorted(want), f"keys differ at {where}"
+        for key in want:
+            _assert_close(got[key], want[key], f"{where}/{key}")
+    elif isinstance(want, (int, float)) and not isinstance(want, bool):
+        assert got == pytest.approx(want, rel=REL_TOL), (
+            f"value drifted at {where}: got {got!r}, golden {want!r}")
+    else:
+        assert got == want, f"mismatch at {where}"
+
+
+def _dominant_causes(breakdown: dict):
+    """Drop causes carrying >5% of drops, heaviest first."""
+    causes = {k: v for k, v in breakdown.items()
+              if k.endswith("Drop") and v > 0.05}
+    return sorted(causes, key=causes.get, reverse=True)
+
+
+def test_headline_speedup_matches_golden():
+    computed = headline_speedup()
+    # Paper §I: userspace networking lifts gem5's network bandwidth
+    # ~6.3x over the kernel stack.  Large and in the right ballpark:
+    assert computed["speedup"] > 4.0
+    assert computed["dpdk_gbps"] > computed["kernel_gbps"]
+    golden = _golden("headline_speedup", computed)
+    _assert_close(computed, golden, "headline")
+
+
+def test_fig5_drop_taxonomy_matches_golden():
+    config = gem5_default()
+    ex = SweepExecutor(jobs=1)
+    computed = {}
+    for label, app, size, options in FIG5_SLICE:
+        ceiling = 20.0 if app == "touchfwd" else 70.0
+        knee = ex.run([msb_point(config, app, size, max_gbps=ceiling,
+                                 n_packets=800,
+                                 app_options=options)])[0].msb_gbps
+        overload = ex.run([fixed_load_point(
+            config, app, size, max(knee * 1.3, 0.5), n_packets=2500,
+            app_options=options)])[0]
+        entry = dict(overload.drop_breakdown)
+        entry["drop_rate"] = overload.drop_rate
+        entry["knee_gbps"] = knee
+        computed[label] = entry
+
+    golden = _golden("fig5_drop_taxonomy", computed)
+
+    # Qualitative taxonomy first: overload actually drops packets, and
+    # the causes above 5% appear in the same dominance order as golden.
+    for label, entry in computed.items():
+        assert entry["drop_rate"] > 0.0, f"{label} never dropped"
+        assert _dominant_causes(entry) == _dominant_causes(golden[label]), \
+            f"{label}: dominant drop causes reordered"
+    _assert_close(computed, golden, "fig5")
+
+
+def test_fig16_ooo_beats_inorder_matches_golden():
+    base = gem5_default()
+    cores = {"ooo": with_core(base, ooo=True),
+             "inorder": with_core(base, ooo=False)}
+    ex = SweepExecutor(jobs=1)
+    computed = {}
+    for app in ("testpmd", "iperf"):
+        ceiling = 70.0 if app == "testpmd" else 16.0
+        computed[app] = {
+            name: ex.run([msb_point(config, app, 128, max_gbps=ceiling,
+                                    n_packets=800)])[0].msb_gbps
+            for name, config in cores.items()}
+
+    # Paper Fig 16: the OoO core sustains more than the in-order core
+    # for every application.
+    for app, msb in computed.items():
+        assert msb["ooo"] > msb["inorder"], (
+            f"{app}: in-order ({msb['inorder']:.2f} Gbps) should not "
+            f"beat OoO ({msb['ooo']:.2f} Gbps)")
+
+    golden = _golden("fig16_core_uarch", computed)
+    _assert_close(computed, golden, "fig16")

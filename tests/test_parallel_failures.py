@@ -1,0 +1,173 @@
+"""Failure paths of the parallel sweep executor.
+
+The ``_poison_*`` sweep point kinds inject worker misbehaviour without
+running any simulation:
+
+- ``_poison_raise``       the handler raises (in worker and in-process)
+- ``_poison_hang``        the handler sleeps forever (timeout path)
+- ``_poison_child_crash`` hard ``os._exit`` in a worker, succeeds
+                          in-process (crash -> retry -> serial fallback)
+- ``_poison_crash``       hard ``os._exit`` in a worker AND raises
+                          in-process (the unrecoverable point)
+
+Cache behaviour (hit / miss / corrupted entry) is covered here too since
+it is the other recovery path.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.harness.parallel import (
+    CACHE_VERSION,
+    ResultCache,
+    SweepExecutor,
+    SweepPoint,
+    SweepPointError,
+    SweepTimeoutError,
+    cache_key,
+    fixed_load_point,
+)
+from repro.system.presets import gem5_default
+
+
+def _poison(kind: str, n: int = 1):
+    return [SweepPoint(kind=kind, app=f"p{i}") for i in range(n)]
+
+
+def _sim_points(n: int, n_packets: int = 200):
+    config = gem5_default()
+    return [fixed_load_point(config, "testpmd", 256, 5.0 + 2.0 * i,
+                             n_packets=n_packets) for i in range(n)]
+
+
+class TestWorkerExceptions:
+    def test_worker_exception_propagates(self):
+        ex = SweepExecutor(jobs=2, timeout_s=30.0)
+        with pytest.raises(SweepPointError, match="injected exception"):
+            ex.run(_poison("_poison_raise", 2))
+
+    def test_serial_exception_propagates(self):
+        ex = SweepExecutor(jobs=1)
+        with pytest.raises(SweepPointError, match="injected exception"):
+            ex.run(_poison("_poison_raise", 1))
+
+
+class TestTimeouts:
+    def test_hanging_point_times_out(self):
+        ex = SweepExecutor(jobs=2, timeout_s=0.4, max_retries=1)
+        with pytest.raises(SweepTimeoutError, match="no result within"):
+            ex.run(_poison("_poison_hang", 2))
+        # Each hanging point is retried once before the error surfaces,
+        # so at least two timeouts and one retry must have been counted.
+        assert ex.stats.timeouts >= 2
+        assert ex.stats.retries >= 1
+
+    def test_timeout_does_not_leak_workers(self):
+        ex = SweepExecutor(jobs=2, timeout_s=0.3, max_retries=0)
+        with pytest.raises(SweepTimeoutError):
+            ex.run(_poison("_poison_hang", 2))
+        # The shutdown path terminated everything; a later run on the
+        # same executor still works (with a budget real sims fit in).
+        ex.timeout_s = 120.0
+        results = ex.run(_sim_points(2))
+        assert len(results) == 2
+
+
+class TestCrashes:
+    def test_crash_retries_then_falls_back_to_serial(self):
+        ex = SweepExecutor(jobs=2, timeout_s=30.0, max_retries=1)
+        results = ex.run(_poison("_poison_child_crash", 2))
+        assert all(r["ok"] for r in results)
+        assert all(r["via"] == "serial-fallback" for r in results)
+        # Both points: initial crash + one retry crash, then fallback.
+        assert ex.stats.crashes == 4
+        assert ex.stats.retries == 2
+        assert ex.stats.serial_fallbacks == 2
+
+    def test_unrecoverable_crash_raises(self):
+        ex = SweepExecutor(jobs=2, timeout_s=30.0, max_retries=1)
+        with pytest.raises(SweepPointError, match="crashes everywhere"):
+            ex.run(_poison("_poison_crash", 1) + _poison(
+                "_poison_child_crash", 1))
+
+    def test_healthy_points_survive_a_poisoned_neighbour(self):
+        points = _sim_points(2) + _poison("_poison_child_crash", 1)
+        ex = SweepExecutor(jobs=2, timeout_s=60.0, max_retries=1)
+        results = ex.run(points)
+        serial = SweepExecutor(jobs=1).run(_sim_points(2))
+        for got, want in zip(results[:2], serial):
+            assert dataclasses.asdict(got) == dataclasses.asdict(want)
+        assert results[2]["via"] == "serial-fallback"
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        points = _sim_points(2)
+        first = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        cold = first.run(points)
+        assert first.stats.cache_misses == 2
+        assert first.stats.executed == 2
+
+        second = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        warm = second.run(points)
+        assert second.stats.cache_hits == 2
+        assert second.stats.executed == 0
+        for got, want in zip(warm, cold):
+            assert dataclasses.asdict(got) == dataclasses.asdict(want)
+
+    def test_key_change_misses(self, tmp_path):
+        point = _sim_points(1)[0]
+        SweepExecutor(jobs=1, cache_dir=tmp_path).run([point])
+        reseeded = dataclasses.replace(point, seed=99)
+        ex = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        ex.run([reseeded])
+        assert ex.stats.cache_hits == 0
+        assert ex.stats.executed == 1
+
+    def test_corrupted_entry_is_discarded_and_recomputed(self, tmp_path):
+        point = _sim_points(1)[0]
+        baseline = SweepExecutor(jobs=1, cache_dir=tmp_path).run([point])[0]
+        path = ResultCache(tmp_path).path_for(cache_key(point))
+        assert path.exists()
+        path.write_text("{ not json at all")
+
+        ex = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        healed = ex.run([point])[0]
+        assert ex.stats.cache_corrupt >= 1
+        assert ex.stats.executed == 1
+        assert dataclasses.asdict(healed) == dataclasses.asdict(baseline)
+        # The entry was rewritten and is valid again.
+        blob = json.loads(path.read_text())
+        assert blob["version"] == CACHE_VERSION
+
+    def test_wrong_version_entry_is_treated_as_corrupt(self, tmp_path):
+        point = _sim_points(1)[0]
+        SweepExecutor(jobs=1, cache_dir=tmp_path).run([point])
+        path = ResultCache(tmp_path).path_for(cache_key(point))
+        blob = json.loads(path.read_text())
+        blob["version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(blob))
+
+        ex = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        ex.run([point])
+        assert ex.stats.cache_corrupt >= 1
+        assert ex.stats.executed == 1
+
+    def test_parallel_run_populates_cache_for_serial(self, tmp_path):
+        points = _sim_points(3)
+        par = SweepExecutor(jobs=2, cache_dir=tmp_path, timeout_s=120.0)
+        cold = par.run(points)
+        ser = SweepExecutor(jobs=1, cache_dir=tmp_path)
+        warm = ser.run(points)
+        assert ser.stats.executed == 0
+        assert ser.stats.cache_hits == 3
+        for got, want in zip(warm, cold):
+            assert dataclasses.asdict(got) == dataclasses.asdict(want)
+
+
+class TestConstruction:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            SweepExecutor(jobs=0)

@@ -1,0 +1,84 @@
+"""SystemConfig construction-time validation and stable hashing."""
+
+import pytest
+
+from repro.system.config import SystemConfig
+from repro.system.presets import altra, gem5_default, with_llc_size
+
+
+class TestValidation:
+    def test_default_config_valid(self):
+        SystemConfig()
+
+    @pytest.mark.parametrize("name", [
+        "iobus_bytes_per_sec", "link_bandwidth_bps", "nr_hugepages",
+        "mempool_mbufs", "mbuf_size", "kernel_rx_ring"])
+    def test_positive_parameters_reject_nonpositive(self, name):
+        with pytest.raises(ValueError, match=name):
+            SystemConfig(**{name: 0})
+        with pytest.raises(ValueError, match=name):
+            SystemConfig(**{name: -1})
+
+    @pytest.mark.parametrize("name", [
+        "iobus_latency_ns", "link_delay_us", "warmup_us"])
+    def test_nonnegative_parameters_reject_negative(self, name):
+        with pytest.raises(ValueError, match=name):
+            SystemConfig(**{name: -0.5})
+        SystemConfig(**{name: 0.0})   # zero is allowed
+
+    def test_loadgen_ceiling_none_or_positive(self):
+        SystemConfig(software_loadgen_max_pps=None)
+        SystemConfig(software_loadgen_max_pps=15.6e6)
+        with pytest.raises(ValueError, match="software_loadgen_max_pps"):
+            SystemConfig(software_loadgen_max_pps=0.0)
+
+    def test_label_must_be_nonempty_string(self):
+        with pytest.raises(ValueError, match="label"):
+            SystemConfig(label="")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValueError, match="link_delay_us"):
+            SystemConfig(link_delay_us="200us")
+
+
+class TestVariant:
+    def test_unknown_parameter_rejected_with_clear_error(self):
+        with pytest.raises(ValueError, match="l1_size"):
+            gem5_default().variant(l1_size=1024)
+
+    def test_error_names_all_unknown_parameters(self):
+        with pytest.raises(ValueError) as excinfo:
+            gem5_default().variant(bogus=1, also_bogus=2)
+        assert "bogus" in str(excinfo.value)
+        assert "also_bogus" in str(excinfo.value)
+
+    def test_variant_revalidates(self):
+        with pytest.raises(ValueError, match="warmup_us"):
+            gem5_default().variant(warmup_us=-1.0)
+
+    def test_valid_variant_still_works(self):
+        config = gem5_default().variant(link_delay_us=50.0)
+        assert config.link_delay_us == 50.0
+
+
+class TestStableHash:
+    def test_equal_configs_hash_identically(self):
+        assert gem5_default().stable_hash() == gem5_default().stable_hash()
+
+    def test_hash_is_hex_sha256(self):
+        digest = gem5_default().stable_hash()
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_different_platforms_differ(self):
+        assert gem5_default().stable_hash() != altra().stable_hash()
+
+    def test_nested_change_changes_hash(self):
+        base = gem5_default()
+        assert base.stable_hash() != \
+            with_llc_size(base, 16 * 1024 * 1024).stable_hash()
+
+    def test_canonical_dict_round_trips_nested_structure(self):
+        data = gem5_default().canonical_dict()
+        assert data["hierarchy"]["llc"]["reserved_io_ways"] == 4
+        assert data["core"]["freq_hz"] == 3e9
