@@ -61,8 +61,40 @@ class DpdkApp(SimObject):
         self.packets_dropped_by_app = 0
         self.tx_ring_drops = 0
         self.bursts = 0
+        # Lifetime accounting (never reset) for the conservation layer:
+        # every harvested packet is forwarded, absorbed (app drop or TX
+        # ring overflow) or still held between poll and burst completion.
+        self.total_processed = 0
+        self.total_forwarded = 0
+        self.total_absorbed = 0
+        self._holding = 0
         # The NIC's writeback hint re-arms the parked poll loop.
         pmd.nic.rx_notify = self._rx_hint
+        self._register_invariants()
+
+    def _register_invariants(self) -> None:
+        app = self
+
+        def conservation(final: bool):
+            fails = []
+            accounted = (app.total_forwarded + app.total_absorbed
+                         + app._holding)
+            if app.total_processed != accounted:
+                fails.append(
+                    f"processed {app.total_processed} != forwarded "
+                    f"{app.total_forwarded} + absorbed "
+                    f"{app.total_absorbed} + holding {app._holding}")
+            if app._holding < 0:
+                fails.append(f"negative holding count {app._holding}")
+            harvested = app.pmd.nic.rx_ring.harvested_total
+            if app.total_processed != harvested:
+                fails.append(
+                    f"app processed {app.total_processed} packets but the "
+                    f"RX ring released {harvested}")
+            return fails
+
+        self.sim.invariants.register(
+            f"{self.name}.packet-conservation", conservation, strict=True)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -107,6 +139,7 @@ class DpdkApp(SimObject):
             response = self.transform(frame)
             if response is None:
                 self.packets_dropped_by_app += 1
+                self.total_absorbed += 1
                 self.pmd.free(frame)
             else:
                 if response is not frame.packet:
@@ -114,6 +147,11 @@ class DpdkApp(SimObject):
                     frame.packet = response
                 outgoing.append(frame)
         self.packets_processed += len(frames)
+        self.total_processed += len(frames)
+        self._holding += len(outgoing)
+        if self.sim.tracer.enabled:
+            self.trace("app", "burst", harvested=len(frames),
+                       outgoing=len(outgoing), ns=round(total_ns, 3))
         self.call_after(ns_to_ticks(total_ns),
                         lambda out=outgoing: self._finish_burst(out),
                         name="finish_burst")
@@ -130,11 +168,14 @@ class DpdkApp(SimObject):
         )
 
     def _finish_burst(self, outgoing: List[RxMbuf]) -> None:
+        self._holding -= len(outgoing)
         if outgoing:
             sent = self.pmd.tx_burst(outgoing)
             self.packets_forwarded += sent
+            self.total_forwarded += sent
             for frame in outgoing[sent:]:
                 self.tx_ring_drops += 1
+                self.total_absorbed += 1
                 self.pmd.free(frame)
         if self._running:
             self._poll()
@@ -175,7 +216,37 @@ class KernelNetApp(SimObject):
         self._processing = False
         self.packets_processed = 0
         self.interrupts = 0
+        # Lifetime accounting for the conservation layer.  Subclasses
+        # that transmit responses count them in ``total_responses``;
+        # everything else is absorbed (receive-only service).
+        self.total_processed = 0
+        self.total_responses = 0
         driver.set_rx_handler(self._on_irq)
+        self._register_invariants()
+
+    def _register_invariants(self) -> None:
+        app = self
+
+        def conservation(final: bool):
+            fails = []
+            harvested = app.driver.nic.rx_ring.harvested_total
+            if app.total_processed != harvested:
+                fails.append(
+                    f"app processed {app.total_processed} packets but the "
+                    f"RX ring released {harvested}")
+            if app.total_responses > app.total_processed:
+                fails.append(
+                    f"responses {app.total_responses} exceed processed "
+                    f"packets {app.total_processed}")
+            return fails
+
+        self.sim.invariants.register(
+            f"{self.name}.packet-conservation", conservation, strict=True)
+
+    @property
+    def total_absorbed(self) -> int:
+        """Packets consumed without a response leaving the node."""
+        return self.total_processed - self.total_responses
 
     def _on_irq(self, count: int) -> None:
         self.interrupts += 1
@@ -207,6 +278,10 @@ class KernelNetApp(SimObject):
             total_ns += self.core.execute(stack_work.app)
             total_ns += self.handle_packet(desc, batch)
         self.packets_processed += batch
+        self.total_processed += batch
+        if self.sim.tracer.enabled:
+            self.trace("app", "napi", harvested=batch,
+                       ns=round(total_ns, 3))
         self.call_after(ns_to_ticks(total_ns), self._napi, name="napi_next")
 
     # -- subclass hook -----------------------------------------------------------

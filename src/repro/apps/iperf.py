@@ -49,6 +49,7 @@ class IperfServer(KernelNetApp):
                 writes=[skb_addr]))
             if self.driver.transmit(skb_addr, ack):
                 self.acks_sent += 1
+                self.total_responses += 1
         return app_ns
 
     def throughput_gbps(self, elapsed_ticks: int) -> float:

@@ -78,7 +78,8 @@ class MemcachedKernel(KernelNetApp):
         response_packet.ts_tx = packet.ts_tx
         response_packet.meta.update(packet.meta)
         skb_addr = self.stack.alloc_skb(response_packet.wire_len)
-        self.driver.transmit(skb_addr, response_packet)
+        if self.driver.transmit(skb_addr, response_packet):
+            self.total_responses += 1
         return app_ns
 
     def on_stats_reset(self) -> None:

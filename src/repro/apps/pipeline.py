@@ -70,7 +70,44 @@ class PipelineForwarder(SimObject):
         self.packets_forwarded = 0
         self.ring_full_drops = 0
         self.tx_ring_drops = 0
+        # Lifetime accounting for the conservation layer: every frame the
+        # RX stage harvests is forwarded, absorbed (ring/TX-ring drop),
+        # queued in the rte_ring, or held by one of the two stages.
+        self.total_processed = 0
+        self.total_forwarded = 0
+        self.total_absorbed = 0
+        self._holding = 0
         pmd.nic.rx_notify = self._rx_hint
+        self._register_invariants()
+
+    def _register_invariants(self) -> None:
+        app = self
+
+        def ring_conservation(final: bool):
+            return app.ring.invariant_failures()
+
+        def conservation(final: bool):
+            fails = []
+            accounted = (app.total_forwarded + app.total_absorbed
+                         + app.ring.count + app._holding)
+            if app.total_processed != accounted:
+                fails.append(
+                    f"harvested {app.total_processed} != forwarded "
+                    f"{app.total_forwarded} + absorbed "
+                    f"{app.total_absorbed} + ring {app.ring.count} + "
+                    f"holding {app._holding}")
+            harvested = app.pmd.nic.rx_ring.harvested_total
+            if app.total_processed != harvested:
+                fails.append(
+                    f"pipeline harvested {app.total_processed} packets "
+                    f"but the RX ring released {harvested}")
+            return fails
+
+        self.sim.invariants.register(
+            f"{self.name}.ring-conservation", ring_conservation,
+            strict=True)
+        self.sim.invariants.register(
+            f"{self.name}.packet-conservation", conservation, strict=True)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -106,6 +143,7 @@ class PipelineForwarder(SimObject):
             self._rx_idle = True
             return
         self.packets_received += len(frames)
+        self.total_processed += len(frames)
         total_ns = self.rx_core.execute(Work(
             compute_cycles=self.costs.pmd_rx_burst_cycles,
             ifetch=self._code[:4]))
@@ -119,7 +157,11 @@ class PipelineForwarder(SimObject):
         for frame in frames[accepted:]:
             # Worker backpressure: the RX stage drops at the ring.
             self.ring_full_drops += 1
+            self.total_absorbed += 1
             self.pmd.free(frame)
+        if self.sim.tracer.enabled:
+            self.trace("app", "rx_stage", harvested=len(frames),
+                       enqueued=accepted)
         self.call_after(ns_to_ticks(total_ns), self._rx_resume,
                         name="rx_resume")
         self._wake_worker()
@@ -168,15 +210,19 @@ class PipelineForwarder(SimObject):
             frame.packet = frame.packet.response_to()
             frame.packet.meta["mbuf"] = frame.mbuf
         self.packets_processed += len(frames)
+        self._holding += len(frames)
         self.call_after(ns_to_ticks(total_ns),
                         lambda out=frames: self._worker_finish(out),
                         name="worker_finish")
 
     def _worker_finish(self, frames: List[RxMbuf]) -> None:
+        self._holding -= len(frames)
         sent = self.pmd.tx_burst(frames)
         self.packets_forwarded += sent
+        self.total_forwarded += sent
         for frame in frames[sent:]:
             self.tx_ring_drops += 1
+            self.total_absorbed += 1
             self.pmd.free(frame)
         if self._running:
             self._worker_poll()

@@ -15,6 +15,11 @@ Every simulation routes through the parallel sweep executor:
 cache (see docs/parallel_sweeps.md).  Results are bit-identical
 regardless of ``--jobs`` and cache state.
 
+Diagnostics (see docs/tracing_and_invariants.md): every run asserts the
+registered conservation invariants at completion; ``--check-invariants
+strict`` re-checks after every simulated event and ``--trace FILE``
+exports a structured JSONL event trace of a single run.
+
 Examples::
 
     python -m repro run testpmd --size 256 --gbps 20
@@ -73,6 +78,27 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _apply_diagnostics_env(args) -> None:
+    """Translate the diagnostics flags into the environment variables the
+    simulation layer reads.  Going through the environment (rather than
+    plumbing arguments down) means forked sweep workers inherit the same
+    settings for free."""
+    if getattr(args, "check_invariants", None):
+        os.environ["REPRO_CHECK_INVARIANTS"] = args.check_invariants
+    if getattr(args, "trace", None):
+        # Respect an existing category filter; otherwise trace everything.
+        if not os.environ.get("REPRO_TRACE"):
+            os.environ["REPRO_TRACE"] = "1"
+        os.environ["REPRO_TRACE_PATH"] = args.trace
+
+
+def _report_trace(args, result) -> None:
+    if getattr(args, "trace", None):
+        digest = getattr(result, "trace_digest", "")
+        print(f"trace written to {args.trace}"
+              + (f" (digest {digest[:16]})" if digest else ""))
+
+
 def _executor_from(args) -> SweepExecutor:
     return SweepExecutor(jobs=getattr(args, "jobs", 1),
                          cache_dir=getattr(args, "cache_dir", None))
@@ -103,6 +129,7 @@ def _cmd_run(args) -> int:
          ["mean RTT us", f"{result.latency_us.get('mean', 0):.1f}"],
          ["p99 RTT us", f"{result.latency_us.get('p99', 0):.1f}"],
          ["LLC miss rate", f"{result.llc_miss_rate:.3f}"]]))
+    _report_trace(args, result)
     _report_executor(args, ex)
     return 0
 
@@ -151,6 +178,7 @@ def _cmd_memcached(args) -> int:
          ["median RTT us", f"{result.latency_us.get('median', 0):.1f}"],
          ["p99 RTT us", f"{result.latency_us.get('p99', 0):.1f}"],
          ["GET hits/misses", f"{result.get_hits}/{result.get_misses}"]]))
+    _report_trace(args, result)
     _report_executor(args, ex)
     return 0
 
@@ -202,11 +230,20 @@ def build_parser() -> argparse.ArgumentParser:
                        default=os.environ.get("REPRO_CACHE_DIR") or None,
                        help="on-disk result cache; unchanged points "
                             "replay for free (default: REPRO_CACHE_DIR)")
+        p.add_argument("--check-invariants", dest="check_invariants",
+                       choices=("final", "strict", "off"), default=None,
+                       help="conservation checking: 'final' asserts at "
+                            "the end of each run (default), 'strict' "
+                            "re-checks after every event, 'off' disables "
+                            "(sets REPRO_CHECK_INVARIANTS)")
 
     p_run = sub.add_parser("run", help="one fixed-load run")
     common(p_run)
     p_run.add_argument("--gbps", type=float, default=10.0)
     p_run.add_argument("--packets", type=int, default=2000)
+    p_run.add_argument("--trace", metavar="FILE", default=None,
+                       help="export a structured event trace (JSONL) of "
+                            "the run to FILE")
     p_run.set_defaults(func=_cmd_run)
 
     p_msb = sub.add_parser("msb", help="maximum sustainable bandwidth")
@@ -227,6 +264,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="kernel-stack server (default: DPDK)")
     p_mc.add_argument("--rps", type=float, default=200_000.0)
     p_mc.add_argument("--requests", type=int, default=2000)
+    p_mc.add_argument("--trace", metavar="FILE", default=None,
+                      help="export a structured event trace (JSONL) of "
+                           "the run to FILE")
     p_mc.set_defaults(func=_cmd_memcached)
 
     p_t1 = sub.add_parser("table1", help="print platform configurations")
@@ -242,6 +282,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _apply_diagnostics_env(args)
     return args.func(args)
 
 

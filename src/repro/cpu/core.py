@@ -165,3 +165,24 @@ class CoreModel:
         self.accesses = 0
         self.l1_hits = 0
         self.prefetch_covered = 0
+
+    def invariant_failures(self):
+        """Core accounting sanity; a list of messages, empty when OK.
+        All counters here reset together in ``reset_counters`` so their
+        relations hold at any instant."""
+        fails = []
+        if self.busy_ns < 0:
+            fails.append(f"negative busy time {self.busy_ns}ns")
+        if not 0 <= self.l1_hits <= self.accesses:
+            fails.append(
+                f"L1 hits ({self.l1_hits}) outside [0, accesses "
+                f"({self.accesses})]")
+        if self.prefetch_covered > self.accesses:
+            fails.append(
+                f"prefetch-covered lines ({self.prefetch_covered}) exceed "
+                f"total accesses ({self.accesses})")
+        if self.work_units and self.accesses and self.busy_ns <= 0:
+            fails.append(
+                f"{self.work_units} work units with {self.accesses} "
+                f"accesses accumulated no busy time")
+        return fails

@@ -109,6 +109,28 @@ class Mempool:
         """Total buffer memory (the upper bound of the working set)."""
         return self.n_mbufs * self.mbuf_size
 
+    def invariant_failures(self, expect_idle: bool = False):
+        """Mbuf conservation self-checks; a list of messages, empty when
+        OK.  ``gets``/``puts`` are lifetime counters, so the accounting
+        equality is exact at any instant.  With ``expect_idle`` (checked
+        only once the datapath is quiescent) any mbuf still out is a leak.
+        """
+        fails = []
+        if self.gets != self.puts + self.in_use:
+            fails.append(
+                f"gets ({self.gets}) != puts ({self.puts}) + in-use "
+                f"({self.in_use})")
+        if not 0 <= self.in_use <= self.n_mbufs:
+            fails.append(
+                f"in-use count {self.in_use} outside [0, {self.n_mbufs}]")
+        if expect_idle and self.in_use:
+            leaked = [mbuf_idx for mbuf_idx in range(self.n_mbufs)
+                      if mbuf_idx not in {m.index for m in self._free}]
+            fails.append(
+                f"{self.in_use} mbuf(s) leaked at quiescence "
+                f"(indices {leaked[:8]}{'...' if len(leaked) > 8 else ''})")
+        return fails
+
     def __repr__(self) -> str:
         return (f"<Mempool {self.name} {self.available}/{self.n_mbufs} "
                 f"free, {self.mbuf_size}B mbufs>")

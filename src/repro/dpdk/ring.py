@@ -87,3 +87,16 @@ class RteRing:
         while self._count and len(out) < max_count:
             out.append(self.dequeue())
         return out
+
+    def invariant_failures(self):
+        """Ring conservation self-checks over lifetime counters; a list
+        of messages, empty when OK."""
+        fails = []
+        if self.enqueued != self.dequeued + self._count:
+            fails.append(
+                f"enqueued ({self.enqueued}) != dequeued "
+                f"({self.dequeued}) + held ({self._count})")
+        if not 0 <= self._count <= self.size:
+            fails.append(
+                f"occupancy {self._count} outside [0, {self.size}]")
+        return fails

@@ -65,13 +65,16 @@ from repro.harness.runner import (
     run_fixed_load,
     run_memcached,
 )
+from repro.sim.invariants import InvariantViolation
 from repro.sim.rng import DeterministicRng
 from repro.system.config import SystemConfig
 
 # Bump when the cached payload's semantics change (new result fields with
 # different meaning, changed seeding scheme, ...): old entries then miss
 # instead of silently replaying stale results.
-CACHE_VERSION = 1
+# 2: results gained ``trace_digest`` and runs assert invariants at
+#    completion — a pre-checker cached result is no longer equivalent.
+CACHE_VERSION = 2
 
 KIND_FIXED_LOAD = "fixed_load"
 KIND_MEMCACHED = "memcached"
@@ -203,6 +206,13 @@ def _poison_child_crash(point: SweepPoint):
     return {"ok": True, "via": "serial-fallback", "seed": point.seed}
 
 
+def _poison_invariant(point: SweepPoint):
+    # A simulation whose invariant checker fired — exercises the
+    # violation-verdict path (SweepInvariantError naming the point).
+    raise InvariantViolation(
+        ["poisoned: injected conservation failure"], tick=42)
+
+
 _KIND_HANDLERS: Dict[str, Callable[[SweepPoint], Any]] = {
     KIND_FIXED_LOAD: _run_fixed,
     KIND_MEMCACHED: _run_memcached,
@@ -211,6 +221,7 @@ _KIND_HANDLERS: Dict[str, Callable[[SweepPoint], Any]] = {
     "_poison_hang": _poison_hang,
     "_poison_crash": _poison_crash,
     "_poison_child_crash": _poison_child_crash,
+    "_poison_invariant": _poison_invariant,
 }
 
 
@@ -344,6 +355,16 @@ class SweepTimeoutError(SweepPointError):
     """A sweep point exceeded its per-attempt timeout on every attempt."""
 
 
+class SweepInvariantError(SweepPointError):
+    """A point's simulation violated a registered invariant.
+
+    Distinct from :class:`SweepPointError` so sweep drivers can tell "the
+    simulation produced inconsistent state" (a model bug at exactly this
+    configuration/load) apart from infrastructure failures — and so the
+    offending point's label travels with the verdict instead of a generic
+    worker traceback."""
+
+
 @dataclass
 class ExecutorStats:
     """Counters for one executor's lifetime, exposed for tests/reports."""
@@ -367,6 +388,11 @@ def _worker_main(result_queue, index: int, point: SweepPoint) -> None:
     """Worker entry: run one point, report (index, status, payload)."""
     try:
         payload = encode_result(execute_point(point))
+    except InvariantViolation as exc:
+        # The simulation itself is inconsistent: carry the verdict (not a
+        # bare traceback) so the driver can name the offending point.
+        result_queue.put((index, "invariant", str(exc)))
+        return
     except BaseException as exc:   # report, don't kill the whole sweep
         detail = (f"{type(exc).__name__}: {exc}\n"
                   f"{traceback.format_exc()}")
@@ -479,6 +505,8 @@ class SweepExecutor:
     def _execute_in_process(self, point: SweepPoint) -> dict:
         try:
             return encode_result(execute_point(point))
+        except InvariantViolation as exc:
+            raise SweepInvariantError(point, str(exc)) from exc
         except Exception as exc:
             raise SweepPointError(
                 point, f"{type(exc).__name__}: {exc}") from exc
@@ -529,6 +557,8 @@ class SweepExecutor:
                     reap(index)
                     if status == "ok":
                         out[index] = payload
+                    elif status == "invariant":
+                        raise SweepInvariantError(points[index], payload)
                     else:
                         raise SweepPointError(points[index], payload)
                     continue
@@ -583,6 +613,8 @@ class SweepExecutor:
             if status == "ok":
                 out[index] = payload
                 drained = True
+            elif status == "invariant":
+                raise SweepInvariantError(points[index], payload)
             else:
                 raise SweepPointError(points[index], payload)
 

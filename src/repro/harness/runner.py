@@ -7,6 +7,7 @@ results are read.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -24,6 +25,7 @@ from repro.loadgen.ether_load_gen import (
     pps_for_gbps,
 )
 from repro.loadgen.memcached_client import MemcachedClientConfig
+from repro.sim.invariants import InvariantViolation
 from repro.system.config import SystemConfig
 from repro.system.node import DpdkNode, KernelNode
 
@@ -60,6 +62,63 @@ def build_node(config: SystemConfig, app_name: str,
     return node
 
 
+def _finalize_run(node) -> str:
+    """End-of-run bookkeeping shared by every runner entry point: assert
+    the registered invariants (final mode), export the trace when
+    ``REPRO_TRACE_PATH`` asks for one, and return the trace digest (empty
+    string when tracing is off).
+
+    The export path is last-writer-wins: point it at a single run, not a
+    sweep.
+    """
+    node.sim.invariants.check(final=True)
+    tracer = node.sim.tracer
+    if not tracer.enabled:
+        return ""
+    trace_path = os.environ.get("REPRO_TRACE_PATH")
+    if trace_path:
+        tracer.write_jsonl(trace_path)
+    return tracer.digest()
+
+
+def _check_result_sanity(node, name: str, sent: int, delivered: int,
+                         drop_breakdown: Dict[str, float],
+                         latency_us: Dict[str, float]) -> None:
+    """Harness-level cross-checks on the numbers a run reports.  These
+    live outside the simulation (they constrain the *result*, not the
+    machine state) but honour the same mode switch."""
+    if node.sim.invariants.mode == "off":
+        return
+    fails = []
+    if not 0 <= delivered <= sent:
+        fails.append(f"delivered {delivered} outside [0, sent {sent}]")
+    # The fractional breakdown sums to 1 when any drops occurred, and to
+    # exactly 0 for a clean run.
+    share = sum(drop_breakdown.values())
+    if drop_breakdown and not (share == 0.0 or 0.999 < share < 1.001):
+        fails.append(
+            f"drop-cause breakdown sums to {share:.6f}, not 0 or 1: "
+            f"{drop_breakdown}")
+    count = latency_us.get("count", 0)
+    if count > delivered:
+        fails.append(
+            f"latency samples ({count:g}) exceed delivered "
+            f"packets ({delivered})")
+    if count:
+        low = latency_us.get("min", 0.0)
+        high = latency_us.get("max", 0.0)
+        mean = latency_us.get("mean", 0.0)
+        # The running mean accumulates float rounding; tolerate it.
+        slack = 1e-9 * max(1.0, abs(high))
+        if not (0 <= low <= high
+                and low - slack <= mean <= high + slack):
+            fails.append(f"latency summary not ordered: {latency_us}")
+    if fails:
+        raise InvariantViolation(
+            [f"harness.{name}: {msg}" for msg in fails],
+            tick=node.sim.now, phase="harness")
+
+
 @dataclass
 class FixedLoadResult:
     """Outcome of one fixed-rate run."""
@@ -79,6 +138,9 @@ class FixedLoadResult:
     # The node's measured packet service rate during the window (the
     # saturation throughput; equals the MSB when the node is overloaded).
     service_gbps: float = 0.0
+    # SHA-256 of the run's exported trace; empty when tracing was off.
+    # Equal (config, seed) runs must produce equal digests.
+    trace_digest: str = ""
 
     @property
     def mean_latency_us(self) -> float:
@@ -132,11 +194,7 @@ def run_fixed_load(config: SystemConfig, app_name: str, packet_size: int,
         if node.app.packets_processed >= warm_target:
             break
         node.run_us(200.0)
-    node.sim.reset_stats()
-    node.hierarchy.reset_counters()
-    node.core.reset_counters()
-    node.dma.reset_counters()
-    node.iobus.reset_counters()
+    node.reset_measurement()
 
     # Measured window: enough sends for n_packets AND enough processed
     # packets for a stable steady-state service-rate estimate.
@@ -165,6 +223,7 @@ def run_fixed_load(config: SystemConfig, app_name: str, packet_size: int,
             break
         node.run_us(200.0)
     node.run_us(2 * config.link_delay_us + 100.0)
+    trace_digest = _finalize_run(node)
 
     sent = loadgen.tx_packets
     if echoes:
@@ -172,6 +231,10 @@ def run_fixed_load(config: SystemConfig, app_name: str, packet_size: int,
     else:
         delivered = min(sent, node.app.packets_processed)
     drop_rate = max(0.0, 1.0 - delivered / sent) if sent else 0.0
+    breakdown = node.nic.drop_fsm.breakdown()
+    latency = loadgen.latency.summary()
+    _check_result_sanity(node, "fixed_load", sent, delivered,
+                         breakdown, latency)
     return FixedLoadResult(
         label=config.label,
         app=app_name,
@@ -181,11 +244,12 @@ def run_fixed_load(config: SystemConfig, app_name: str, packet_size: int,
         drop_rate=drop_rate,
         sent=sent,
         delivered=delivered,
-        drop_breakdown=node.nic.drop_fsm.breakdown(),
-        latency_us=loadgen.latency.summary(),
+        drop_breakdown=breakdown,
+        latency_us=latency,
         llc_miss_rate=node.hierarchy.llc_miss_rate(),
         dma_leaked_lines=node.hierarchy.dma_leaked_lines,
         service_gbps=service_gbps,
+        trace_digest=trace_digest,
     )
 
 
@@ -204,6 +268,8 @@ class MemcachedRunResult:
     get_hits: int = 0
     get_misses: int = 0
     drop_breakdown: Dict[str, float] = field(default_factory=dict)
+    # SHA-256 of the run's exported trace; empty when tracing was off.
+    trace_digest: str = ""
 
     @property
     def mean_latency_us(self) -> float:
@@ -250,10 +316,8 @@ def run_memcached(config: SystemConfig, kernel: bool, rate_rps: float,
     client.run_warmup(warm_requests, warm_rate)
     node.run_us(warm_requests / warm_rate * 1e6
                 + 2 * config.link_delay_us + 500.0)
-    node.sim.reset_stats()
+    node.reset_measurement()
     client.reset_measurements()
-    node.hierarchy.reset_counters()
-    node.core.reset_counters()
     client.start()
     # Run to completion of the request phase, then drain the backlog.
     duration_us = n_requests / rate_rps * 1e6
@@ -266,11 +330,16 @@ def run_memcached(config: SystemConfig, kernel: bool, rate_rps: float,
             break
         node.run_us(200.0)
     node.run_us(2 * config.link_delay_us + 100.0)
+    trace_digest = _finalize_run(node)
     # End-to-end drops under-count in short overloaded runs (the ring and
     # FIFO buffer a bounded backlog that eventually drains); the NIC's own
     # drop counter sees the steady-state loss directly.
     nic_drop_fraction = (node.nic.stat_rx_drops.value
                          / max(client.requests_sent, 1))
+    breakdown = node.nic.drop_fsm.breakdown()
+    latency = client.latency.summary()
+    _check_result_sanity(node, "memcached", client.requests_sent,
+                         client.responses_received, breakdown, latency)
     return MemcachedRunResult(
         label=config.label,
         kernel=kernel,
@@ -279,8 +348,9 @@ def run_memcached(config: SystemConfig, kernel: bool, rate_rps: float,
         drop_rate=max(client.drop_rate, min(1.0, nic_drop_fraction)),
         requests_sent=client.requests_sent,
         responses=client.responses_received,
-        latency_us=client.latency.summary(),
+        latency_us=latency,
         get_hits=client.get_hits,
         get_misses=client.get_misses,
-        drop_breakdown=node.nic.drop_fsm.breakdown(),
+        drop_breakdown=breakdown,
+        trace_digest=trace_digest,
     )

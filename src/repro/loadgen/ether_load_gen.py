@@ -169,6 +169,36 @@ class EtherLoadGen(SimObject):
         # sent before the reset (still in flight) are not miscounted.
         self._epoch = 0
         self.stale_rx = 0
+        # Lifetime accounting (never reset): exact inputs for the
+        # end-to-end packet-conservation invariant.
+        self.total_tx_packets = 0
+        self.total_rx_packets = 0
+        self._register_invariants()
+
+    def _register_invariants(self) -> None:
+        """The generator's own books must agree with its port's."""
+        gen = self
+
+        def port_accounting(final: bool):
+            fails = []
+            if gen.port.frames_sent != gen.total_tx_packets:
+                fails.append(
+                    f"port sent {gen.port.frames_sent} frames but "
+                    f"generator emitted {gen.total_tx_packets}")
+            if gen.port.frames_received != gen.total_rx_packets:
+                fails.append(
+                    f"port received {gen.port.frames_received} frames but "
+                    f"generator counted {gen.total_rx_packets}")
+            epoch_rx = gen.rx_packets + gen.stale_rx
+            if epoch_rx > gen.total_rx_packets:
+                fails.append(
+                    f"epoch rx ({gen.rx_packets}) + stale rx "
+                    f"({gen.stale_rx}) exceeds lifetime rx "
+                    f"({gen.total_rx_packets})")
+            return fails
+
+        self.sim.invariants.register(
+            f"{self.name}.port-accounting", port_accounting, strict=True)
 
     # ------------------------------------------------------------------
     # Mode start/stop
@@ -273,9 +303,13 @@ class EtherLoadGen(SimObject):
     def _emit(self, packet: Packet) -> None:
         self.tx_packets += 1
         self.tx_bytes += packet.wire_len
+        self.total_tx_packets += 1
         if self.first_tx_tick is None:
             self.first_tx_tick = self.now
         self.last_tx_tick = self.now
+        if self.sim.tracer.enabled:
+            self.trace("loadgen", "tx", bytes=packet.wire_len,
+                       request_id=packet.request_id)
         self.port.send(packet)
 
     def _send_synthetic_packet(self) -> None:
@@ -344,6 +378,11 @@ class EtherLoadGen(SimObject):
     # ------------------------------------------------------------------
 
     def _on_rx(self, packet: Packet) -> None:
+        self.total_rx_packets += 1
+        if self.sim.tracer.enabled:
+            self.trace("loadgen", "rx", bytes=packet.wire_len,
+                       request_id=packet.request_id,
+                       stale=packet.meta.get("epoch") != self._epoch)
         if packet.meta.get("epoch") != self._epoch:
             self.stale_rx += 1
             return

@@ -190,3 +190,24 @@ class MemoryHierarchy:
         self.dma_lines_read = 0
         self.dma_llc_hits = 0
         self.dma_leaked_lines = 0
+
+    def invariant_failures(self):
+        """DMA-side accounting sanity; a list of messages, empty when OK.
+        These counters all reset together in ``reset_counters`` so their
+        relations hold at any instant."""
+        fails = []
+        for label, value in (("dma_lines_written", self.dma_lines_written),
+                             ("dma_lines_read", self.dma_lines_read),
+                             ("dma_llc_hits", self.dma_llc_hits),
+                             ("dma_leaked_lines", self.dma_leaked_lines)):
+            if value < 0:
+                fails.append(f"negative {label} ({value})")
+        if self.dma_llc_hits > self.dma_lines_read:
+            fails.append(
+                f"DMA LLC hits ({self.dma_llc_hits}) exceed DMA line "
+                f"reads ({self.dma_lines_read})")
+        if self.dma_leaked_lines > self.dma_lines_written:
+            fails.append(
+                f"DMA leaked lines ({self.dma_leaked_lines}) exceed DMA "
+                f"line writes ({self.dma_lines_written})")
+        return fails

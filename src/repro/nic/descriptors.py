@@ -73,6 +73,7 @@ class RxRing(DescriptorRing):
         self._pending_wb: Deque[RxDescriptor] = deque()  # in descriptor cache
         self._completed: Deque[RxDescriptor] = deque()   # visible to driver
         self.filled_total = 0
+        self.harvested_total = 0
         self.writebacks = 0
 
     # -- NIC side -------------------------------------------------------------
@@ -137,6 +138,7 @@ class RxRing(DescriptorRing):
         batch: List[RxDescriptor] = []
         while self._completed and len(batch) < max_count:
             batch.append(self._completed.popleft())
+        self.harvested_total += len(batch)
         return batch
 
     def replenish(self, count: int = 1) -> None:
@@ -148,6 +150,29 @@ class RxRing(DescriptorRing):
                 f"replenish({count}) would exceed ring size {self.size}")
         self._posted += count
 
+    def invariant_failures(self):
+        """Descriptor conservation: every filled descriptor is either in
+        the descriptor cache, visible to the driver, or harvested.  All
+        counters are lifetime (never reset), so this is exact at any
+        instant."""
+        fails = []
+        retained = len(self._pending_wb) + len(self._completed)
+        if self.filled_total != self.harvested_total + retained:
+            fails.append(
+                f"filled {self.filled_total} != harvested "
+                f"{self.harvested_total} + cached "
+                f"{len(self._pending_wb)} + completed "
+                f"{len(self._completed)}")
+        if not 0 <= self._posted <= self.size:
+            fails.append(
+                f"posted descriptor count {self._posted} outside "
+                f"[0, {self.size}]")
+        if self._posted + retained > self.size:
+            fails.append(
+                f"posted ({self._posted}) + in-flight ({retained}) "
+                f"descriptors exceed ring size {self.size}")
+        return fails
+
 
 class TxRing(DescriptorRing):
     """The transmit ring: driver enqueues, NIC DMA-reads and drains."""
@@ -157,6 +182,7 @@ class TxRing(DescriptorRing):
         self._queue: Deque[tuple] = deque()   # (buffer_addr, packet)
         self._tail = 0
         self.enqueued_total = 0
+        self.consumed_total = 0
 
     @property
     def occupancy(self) -> int:
@@ -191,4 +217,18 @@ class TxRing(DescriptorRing):
         """NIC takes the next packet for DMA read + transmit."""
         if not self._queue:
             raise IndexError("consume from empty TX ring")
+        self.consumed_total += 1
         return self._queue.popleft()
+
+    def invariant_failures(self):
+        """TX descriptor conservation over lifetime counters."""
+        fails = []
+        if self.enqueued_total != self.consumed_total + len(self._queue):
+            fails.append(
+                f"enqueued {self.enqueued_total} != consumed "
+                f"{self.consumed_total} + queued {len(self._queue)}")
+        if len(self._queue) > self.size:
+            fails.append(
+                f"occupancy {len(self._queue)} exceeds ring size "
+                f"{self.size}")
+        return fails

@@ -58,6 +58,12 @@ class DmaEngine:
         self.packets_read = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        # Line-granular counters mirroring what the engine pushed into the
+        # memory hierarchy; the DMA byte-conservation invariant checks them
+        # against the hierarchy's own dma_lines_written/read.
+        self.lines_written = 0
+        self.lines_read = 0
+        self.desc_lines_written = 0
 
     @property
     def busy_until(self) -> int:
@@ -82,9 +88,11 @@ class DmaEngine:
         if write:
             for line in lines_covering(base_addr, nbytes):
                 total += self.hierarchy.dma_write_line(line, now_ns)
+                self.lines_written += 1
         else:
             for line in lines_covering(base_addr, nbytes):
                 total += self.hierarchy.dma_read_line(line, now_ns)
+                self.lines_read += 1
         return total / self.config.mem_parallelism
 
     def write_packet(self, now: int, buffer_addr: int, nbytes: int) -> int:
@@ -140,6 +148,7 @@ class DmaEngine:
             if line not in lines_seen:
                 lines_seen.add(line)
                 self.hierarchy.dma_write_line(line, now_ns)
+                self.desc_lines_written += 1
         nbytes = count * self.config.desc_bytes
         busy_ticks = self.iobus_rx.occupancy_ticks(nbytes)
         self.iobus_rx.bytes_moved += nbytes
@@ -153,3 +162,50 @@ class DmaEngine:
         self.packets_read = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        self.lines_written = 0
+        self.lines_read = 0
+        self.desc_lines_written = 0
+
+    def invariant_failures(self):
+        """Byte/line conservation between this engine and the memory
+        hierarchy it writes through; empty list when consistent.
+
+        Holds exactly only when this engine is the hierarchy's sole DMA
+        client and both sides' counters were reset back-to-back — the
+        node's ``reset_measurement`` guarantees that adjacency.
+        """
+        fails = []
+        h = self.hierarchy
+        pushed = self.lines_written + self.desc_lines_written
+        if h.dma_lines_written != pushed:
+            fails.append(
+                f"hierarchy saw {h.dma_lines_written} DMA line writes but "
+                f"engine issued {pushed} "
+                f"({self.lines_written} packet + "
+                f"{self.desc_lines_written} descriptor)")
+        if h.dma_lines_read != self.lines_read:
+            fails.append(
+                f"hierarchy saw {h.dma_lines_read} DMA line reads but "
+                f"engine issued {self.lines_read}")
+        # A packet of N bytes covers between ceil(N/64) and ceil(N/64)+1
+        # cache lines depending on alignment.
+        if self.lines_written * LINE_SIZE < self.bytes_written:
+            fails.append(
+                f"{self.lines_written} written lines cannot carry "
+                f"{self.bytes_written} packet bytes")
+        if self.lines_read * LINE_SIZE < self.bytes_read:
+            fails.append(
+                f"{self.lines_read} read lines cannot carry "
+                f"{self.bytes_read} packet bytes")
+        if self.lines_written > self.bytes_written // LINE_SIZE \
+                + self.packets_written:
+            fails.append(
+                f"{self.lines_written} written lines exceeds the maximum "
+                f"for {self.packets_written} packets totalling "
+                f"{self.bytes_written}B")
+        if self.lines_read > self.bytes_read // LINE_SIZE \
+                + self.packets_read:
+            fails.append(
+                f"{self.lines_read} read lines exceeds the maximum for "
+                f"{self.packets_read} packets totalling {self.bytes_read}B")
+        return fails

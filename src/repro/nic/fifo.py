@@ -83,6 +83,33 @@ class PacketByteFifo:
         self.dequeued -= 1
 
     def clear(self) -> None:
-        """Drop all held packets."""
+        """Drop all held packets.  Counts them as dequeued so the
+        conservation law ``enqueued == dequeued + len(fifo)`` keeps
+        holding across a clear."""
+        self.dequeued += len(self._queue)
         self._queue.clear()
         self._bytes = 0
+
+    def invariant_failures(self):
+        """Conservation self-checks; a list of messages, empty when OK.
+
+        These hold *exactly at any instant*: ``enqueued``/``dequeued``
+        are lifetime counters never touched by a stats reset
+        (``requeue_front`` un-counts its dequeue, ``clear`` counts its
+        evictions).
+        """
+        fails = []
+        if self.enqueued != self.dequeued + len(self._queue):
+            fails.append(
+                f"enqueued ({self.enqueued}) != dequeued ({self.dequeued}) "
+                f"+ held ({len(self._queue)})")
+        held_bytes = sum(p.wire_len for p in self._queue)
+        if self._bytes != held_bytes:
+            fails.append(
+                f"byte accounting ({self._bytes}) != held packet bytes "
+                f"({held_bytes})")
+        if not 0 <= self._bytes <= self.capacity_bytes:
+            fails.append(
+                f"occupancy {self._bytes}B outside [0, "
+                f"{self.capacity_bytes}]B")
+        return fails

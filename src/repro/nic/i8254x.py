@@ -160,6 +160,112 @@ class I8254xNic(SimObject, PciDevice):
         self.stat_buffer_starved = self.stats.counter(
             "rxBufferStarved", "RX DMA stalls for lack of posted buffers")
 
+        # Lifetime accounting (never reset): the invariant layer's view of
+        # the datapath.  The stat counters above reset at the measurement
+        # boundary; these do not, so conservation equalities over them are
+        # exact at any instant.
+        self.total_wire_rx = 0
+        self.total_rx_drops = 0
+        self.total_tx_fifo_drops = 0
+        self._tx_dma_in_flight = 0
+        self._register_invariants()
+
+    def _register_invariants(self) -> None:
+        """Packet conservation along the Fig 3 RX lifecycle and the TX
+        path, plus drop-cause accounting (Fig 4 FSM vs. the stat
+        counters) and DMA byte conservation."""
+        reg = self.sim.invariants
+        nic = self
+
+        def rx_conservation(final: bool):
+            fails = []
+            if nic.port.frames_received != nic.total_wire_rx:
+                fails.append(
+                    f"port delivered {nic.port.frames_received} frames but "
+                    f"NIC observed {nic.total_wire_rx}")
+            held = len(nic.rx_fifo)
+            if nic.total_wire_rx != (nic.rx_fifo.enqueued
+                                     + nic.total_rx_drops):
+                fails.append(
+                    f"wire rx {nic.total_wire_rx} != fifo-accepted "
+                    f"{nic.rx_fifo.enqueued} + dropped "
+                    f"{nic.total_rx_drops} (fifo holds {held})")
+            if nic.rx_fifo.dequeued != nic.rx_ring.filled_total:
+                fails.append(
+                    f"fifo released {nic.rx_fifo.dequeued} packets but "
+                    f"ring filled {nic.rx_ring.filled_total}")
+            return fails
+
+        def tx_conservation(final: bool):
+            fails = []
+            consumed = nic.tx_ring.consumed_total
+            landed = nic.tx_fifo.enqueued + nic.total_tx_fifo_drops
+            if consumed != landed + nic._tx_dma_in_flight:
+                fails.append(
+                    f"tx ring released {consumed} packets but "
+                    f"{nic.tx_fifo.enqueued} reached the TX FIFO, "
+                    f"{nic.total_tx_fifo_drops} overflowed it and "
+                    f"{nic._tx_dma_in_flight} are in DMA flight")
+            if nic.port.frames_sent != nic.tx_fifo.dequeued:
+                fails.append(
+                    f"TX FIFO released {nic.tx_fifo.dequeued} frames but "
+                    f"port sent {nic.port.frames_sent}")
+            return fails
+
+        def fifo_fast(fifo, label):
+            def check(final: bool):
+                if final:
+                    return [f"{label}: {msg}"
+                            for msg in fifo.invariant_failures()]
+                # Per-event subset: integer compares only (the full check
+                # walks held packets, too slow for every event).
+                if fifo.enqueued != fifo.dequeued + len(fifo):
+                    return [f"{label}: enqueued {fifo.enqueued} != "
+                            f"dequeued {fifo.dequeued} + held {len(fifo)}"]
+                if not 0 <= fifo.occupancy_bytes <= fifo.capacity_bytes:
+                    return [f"{label}: occupancy {fifo.occupancy_bytes}B "
+                            f"out of range"]
+                return None
+            return check
+
+        def drop_cause_accounting(final: bool):
+            fails = []
+            fsm_total = nic.drop_fsm.total_drops
+            if nic.stat_rx_drops.value != fsm_total:
+                fails.append(
+                    f"rxDrops stat {nic.stat_rx_drops.value} != drop-FSM "
+                    f"total {fsm_total}")
+            if nic.rx_fifo.rejected != fsm_total:
+                fails.append(
+                    f"RX FIFO rejected {nic.rx_fifo.rejected} != drop-FSM "
+                    f"total {fsm_total}")
+            by_cause = (nic.stat_dma_drops.value + nic.stat_core_drops.value
+                        + nic.stat_tx_drops.value)
+            if by_cause != nic.stat_rx_drops.value:
+                fails.append(
+                    f"per-cause drop stats sum to {by_cause} but rxDrops "
+                    f"is {nic.stat_rx_drops.value}")
+            return fails
+
+        reg.register(f"{self.name}.rx-conservation", rx_conservation,
+                     strict=True)
+        reg.register(f"{self.name}.tx-conservation", tx_conservation,
+                     strict=True)
+        reg.register(f"{self.name}.rx-fifo",
+                     fifo_fast(self.rx_fifo, "rx_fifo"), strict=True)
+        reg.register(f"{self.name}.tx-fifo",
+                     fifo_fast(self.tx_fifo, "tx_fifo"), strict=True)
+        reg.register(f"{self.name}.rx-ring",
+                     lambda final: self.rx_ring.invariant_failures(),
+                     strict=True)
+        reg.register(f"{self.name}.tx-ring",
+                     lambda final: self.tx_ring.invariant_failures(),
+                     strict=True)
+        reg.register(f"{self.name}.drop-cause-accounting",
+                     drop_cause_accounting, strict=True)
+        reg.register(f"{self.name}.dma-byte-conservation",
+                     lambda final: self.dma.invariant_failures())
+
     # ------------------------------------------------------------------
     # Register file (MMIO)
     # ------------------------------------------------------------------
@@ -215,15 +321,22 @@ class I8254xNic(SimObject, PciDevice):
 
     def _on_wire_rx(self, packet: Packet) -> None:
         self.stat_wire_rx.inc()
+        self.total_wire_rx += 1
         accepted = self.rx_fifo.try_enqueue(packet)
-        self.drop_fsm.on_packet_rx(
+        state = self.drop_fsm.on_packet_rx(
             rx_fifo_full=not accepted or self.rx_fifo.full_for_min_frame,
             rx_ring_full=self.rx_ring.full,
             tx_ring_full=self.tx_ring.full,
             dropped=not accepted,
         )
+        if self.sim.tracer.enabled:
+            cause = (self.drop_fsm.classify(state).value
+                     if not accepted else None)
+            self.trace("nic", "wire_rx", bytes=packet.wire_len,
+                       accepted=accepted, cause=cause)
         if not accepted:
             self.stat_rx_drops.inc()
+            self.total_rx_drops += 1
             counts = self.drop_fsm.counts
             self.stat_dma_drops.value = counts[DropCause.DMA]
             self.stat_core_drops.value = counts[DropCause.CORE]
@@ -277,6 +390,9 @@ class I8254xNic(SimObject, PciDevice):
         finish = self.dma.write_packet(now, buffer_addr, packet.wire_len)
         self.stat_rx_packets.inc()
         self.stat_rx_bytes.inc(packet.wire_len)
+        if self.sim.tracer.enabled:
+            self.trace("dma", "rx_write", bytes=packet.wire_len,
+                       addr=buffer_addr, finish=finish)
         # Writeback decision is evaluated once the data DMA lands.
         self.sim.events.call_at(finish, self._after_rx_dma,
                                 name=f"{self.name}.rx_dma_done")
@@ -303,6 +419,8 @@ class I8254xNic(SimObject, PciDevice):
             return
         desc_addrs = [self.rx_ring.desc_addr(desc.index) for desc in batch]
         finish = self.dma.writeback_descriptors(now, len(batch), desc_addrs)
+        if self.sim.tracer.enabled:
+            self.trace("nic", "writeback", count=len(batch), finish=finish)
         if self.rx_notify is not None:
             count = len(batch)
             self.sim.events.call_at(
@@ -340,21 +458,33 @@ class I8254xNic(SimObject, PciDevice):
             return
         now = self.now
         buffer_addr, packet = self.tx_ring.consume()
+        self._tx_dma_in_flight += 1
         finish = self.dma.read_packet(now, buffer_addr, packet.wire_len)
+        if self.sim.tracer.enabled:
+            self.trace("dma", "tx_read", bytes=packet.wire_len,
+                       addr=buffer_addr, finish=finish)
         self.sim.events.call_at(
             finish, lambda p=packet: self._after_tx_dma(p),
             name=f"{self.name}.tx_dma_done")
         self._kick_tx()
 
     def _after_tx_dma(self, packet: Packet) -> None:
+        self._tx_dma_in_flight -= 1
         if self.tx_fifo.try_enqueue(packet):
             # Drain immediately onto the wire; the link serializes.
             self.tx_fifo.dequeue()
             self.port.send(packet)
             self.stat_tx_packets.inc()
             self.stat_tx_bytes.inc(packet.wire_len)
+            if self.sim.tracer.enabled:
+                self.trace("nic", "tx_wire", bytes=packet.wire_len)
             if self.tx_complete_notify is not None:
                 self.tx_complete_notify(packet)
+        else:
+            # The TX FIFO had no room for the DMA-read frame (cannot
+            # happen while _tx_work_ready gates on free space, but the
+            # conservation layer must account for every packet).
+            self.total_tx_fifo_drops += 1
         self._kick_tx()
 
     # ------------------------------------------------------------------

@@ -54,6 +54,12 @@ class EtherLink(SimObject):
         self._port_b: Optional[EtherPort] = None
         # Independent serialization horizon per direction (full duplex).
         self._tx_free_at = {"a": 0, "b": 0}
+        # Frames accepted for transmission but not yet delivered, per
+        # direction.  Lifetime accounting: lets the link-conservation
+        # invariant hold exactly at any instant.
+        self._in_flight = {"a": 0, "b": 0}
+        self._sent = {"a": 0, "b": 0}
+        self._delivered = {"a": 0, "b": 0}
         self.stat_frames = self.stats.counter("frames", "frames carried")
         self.stat_bytes = self.stats.counter("bytes", "bytes carried")
 
@@ -64,6 +70,46 @@ class EtherLink(SimObject):
         self._port_a, self._port_b = port_a, port_b
         port_a.link = self
         port_b.link = self
+        self._register_invariants()
+
+    def _register_invariants(self) -> None:
+        """The wire loses nothing: every frame the link accepts is either
+        still serializing/propagating or has been delivered to the peer.
+
+        The equality is over the link's *own* lifetime counters, not the
+        port counters: unit tests legitimately call ``port.deliver()``
+        out-of-band, and a port may be driven by several sources.  The
+        port counters are coupled by inequalities instead — out-of-band
+        traffic can only add to them."""
+        link = self
+
+        def conservation(final: bool):
+            fails = []
+            for direction, src, dst in (("a", link._port_a, link._port_b),
+                                        ("b", link._port_b, link._port_a)):
+                sent = link._sent[direction]
+                delivered = link._delivered[direction]
+                in_flight = link._in_flight[direction]
+                if in_flight < 0:
+                    fails.append(f"direction {direction}: negative "
+                                 f"in-flight count {in_flight}")
+                if sent != delivered + in_flight:
+                    fails.append(
+                        f"direction {direction}: accepted {sent} frames "
+                        f"but delivered {delivered} with {in_flight} "
+                        f"in flight")
+                if src.frames_sent < sent:
+                    fails.append(
+                        f"{src.name} sent {src.frames_sent} frames but "
+                        f"the link carried {sent} from it")
+                if dst.frames_received < delivered:
+                    fails.append(
+                        f"{dst.name} received {dst.frames_received} frames "
+                        f"but the link delivered {delivered} to it")
+            return fails
+
+        self.sim.invariants.register(
+            f"{self.name}.frame-conservation", conservation, strict=True)
 
     def serialization_ticks(self, packet: Packet) -> int:
         # Wire bits include 8B preamble + 12B inter-frame gap.
@@ -87,7 +133,14 @@ class EtherLink(SimObject):
         self._tx_free_at[direction] = finish
         self.stat_frames.inc()
         self.stat_bytes.inc(packet.wire_len)
+        self._sent[direction] += 1
+        self._in_flight[direction] += 1
         deliver_at = finish + self.delay_ticks
-        self.sim.events.call_at(
-            deliver_at, lambda p=packet, d=dst: d.deliver(p),
-            name=f"{self.name}.deliver")
+
+        def _deliver(p=packet, d=dst, direc=direction):
+            self._in_flight[direc] -= 1
+            self._delivered[direc] += 1
+            d.deliver(p)
+
+        self.sim.events.call_at(deliver_at, _deliver,
+                                name=f"{self.name}.deliver")

@@ -34,6 +34,17 @@ from repro.sim.stats import (
     StatRegistry,
 )
 from repro.sim.rng import DeterministicRng
+from repro.sim.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceEvent,
+    TraceOptions,
+    Tracer,
+)
+from repro.sim.invariants import (
+    InvariantRegistry,
+    InvariantViolation,
+    mode_from_env,
+)
 
 __all__ = [
     "TICKS_PER_SEC",
@@ -58,4 +69,11 @@ __all__ = [
     "StatGroup",
     "StatRegistry",
     "DeterministicRng",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "TraceOptions",
+    "Tracer",
+    "InvariantRegistry",
+    "InvariantViolation",
+    "mode_from_env",
 ]

@@ -62,6 +62,10 @@ class EventQueue:
         self._now = 0
         self._seq = 0
         self._fired = 0
+        #: Optional hook fired after every executed event callback.  Used
+        #: by the invariant registry's strict mode; None (the default)
+        #: costs one attribute read per event.
+        self.on_event: Optional[Callable[["Event"], None]] = None
 
     @property
     def now(self) -> int:
@@ -152,6 +156,9 @@ class EventQueue:
         event._gen += 1
         self._fired += 1
         event.callback()
+        hook = self.on_event
+        if hook is not None:
+            hook(event)
         return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:

@@ -12,18 +12,58 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.sim.event_queue import Event, EventQueue
+from repro.sim.invariants import InvariantRegistry
 from repro.sim.rng import DeterministicRng
 from repro.sim.stats import StatGroup, StatRegistry
+from repro.sim.trace import TraceOptions, Tracer
 
 
 class Simulation:
-    """Top-level container: event queue + stats + RNG + object registry."""
+    """Top-level container: event queue + stats + RNG + object registry,
+    plus the cross-cutting correctness layer (tracer + invariants)."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0,
+                 trace_options: Optional[TraceOptions] = None,
+                 invariant_mode: Optional[str] = None) -> None:
         self.events = EventQueue()
         self.stats = StatRegistry()
         self.rng = DeterministicRng(seed)
         self._objects: Dict[str, "SimObject"] = {}
+        self.tracer = Tracer(trace_options)
+        self.invariants = InvariantRegistry(self.events, mode=invariant_mode)
+        self._register_core_invariants()
+
+    def _register_core_invariants(self) -> None:
+        """Event-queue sanity: simulated time never flows backwards and
+        the next pending event is never behind ``now``."""
+        queue = self.events
+        state = {"last_now": 0, "last_fired": 0}
+
+        def tick_monotonic(final: bool):
+            now = queue.now
+            if now < state["last_now"]:
+                return [f"time went backwards: "
+                        f"{state['last_now']} -> {now}"]
+            state["last_now"] = now
+            head = queue.peek()
+            if head is not None and head < now:
+                return [f"pending event at tick {head} is in the past "
+                        f"(now {now})"]
+            return None
+
+        def queue_sane(final: bool):
+            fired = queue.fired
+            if fired < state["last_fired"]:
+                return [f"fired-event count decreased: "
+                        f"{state['last_fired']} -> {fired}"]
+            state["last_fired"] = fired
+            if queue.pending < 0:
+                return [f"negative pending event count {queue.pending}"]
+            return None
+
+        self.invariants.register("sim.tick-monotonic", tick_monotonic,
+                                 strict=True)
+        self.invariants.register("sim.event-queue-sane", queue_sane)
 
     @property
     def now(self) -> int:
@@ -100,6 +140,18 @@ class SimObject:
     def deschedule(self, event: Event) -> None:
         """Cancel a pending event."""
         self.sim.events.deschedule(event)
+
+    def trace(self, category: str, event: str, **fields) -> None:
+        """Record a structured trace event attributed to this object.
+
+        Near-free while tracing is disabled: one attribute read and a
+        branch.  Callers on hot paths should still guard expensive field
+        construction with ``if self.sim.tracer.enabled:``.
+        """
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.record(self.sim.events.now, self.name, category, event,
+                          fields or None)
 
     def on_stats_reset(self) -> None:
         """Hook invoked by Simulation.reset_stats; override to clear any

@@ -68,9 +68,55 @@ class _BaseNode:
         self.loadgen: Optional[EtherLoadGen] = None
         self.memcached_client: Optional[MemcachedClient] = None
         self.app = None
+        self._register_node_invariants()
 
     def _nic_config(self):
         return self.config.nic
+
+    # -- invariants -------------------------------------------------------
+
+    def _register_node_invariants(self) -> None:
+        """Cross-component rules that only the node can see: DMA<->memory
+        byte conservation adjacency, core accounting sanity, and (for
+        DPDK nodes, via _extra_invariant_failures) mempool conservation."""
+        node = self
+
+        def node_sanity(final: bool):
+            fails = []
+            fails.extend(f"core: {msg}"
+                         for msg in node.core.invariant_failures())
+            fails.extend(f"hierarchy: {msg}"
+                         for msg in node.hierarchy.invariant_failures())
+            fails.extend(node._extra_invariant_failures(final))
+            return fails
+
+        self.sim.invariants.register("node.sanity", node_sanity)
+
+    def _extra_invariant_failures(self, final: bool):
+        """Subclass hook for stack-specific conservation rules."""
+        return []
+
+    def nic_quiescent(self) -> bool:
+        """True when no packet is anywhere inside the NIC: the FIFOs and
+        rings are empty and no DMA is in flight.  Quiescence-conditional
+        invariants (mbuf leaks, end-to-end conservation) only assert once
+        this and the app's own pipeline are drained."""
+        nic = self.nic
+        return (len(nic.rx_fifo) == 0
+                and len(nic.tx_fifo) == 0
+                and nic.rx_ring.completed_count == 0
+                and nic.rx_ring.pending_writeback_count == 0
+                and nic.tx_ring.occupancy == 0
+                and nic._tx_dma_in_flight == 0)
+
+    def app_holding(self) -> int:
+        """Packets currently held inside the application between harvest
+        and burst completion (0 for synchronous kernel apps)."""
+        held = getattr(self.app, "_holding", 0) if self.app else 0
+        ring = getattr(self.app, "ring", None)
+        if ring is not None:
+            held += ring.count
+        return held
 
     # -- client attachment -------------------------------------------------
 
@@ -82,7 +128,42 @@ class _BaseNode:
                                     dst_mac=DEFAULT_DST_MAC,
                                     src_mac=DEFAULT_SRC_MAC)
         self.link.connect(self.loadgen.port, self.nic.port)
+        self._register_end_to_end_invariant()
         return self.loadgen
+
+    def _register_end_to_end_invariant(self) -> None:
+        """The paper's headline conservation law (Figs 5-9): injected ==
+        delivered + Σ drops-by-cause.  Only exact once every queue and
+        wire between the generator and the app has drained, so it asserts
+        at final check time and only at full quiescence."""
+        node = self
+
+        def end_to_end(final: bool):
+            if not final or not node.fully_quiescent():
+                return None
+            gen = node.loadgen
+            nic = node.nic
+            absorbed = getattr(node.app, "total_absorbed", 0) \
+                if node.app is not None else 0
+            accounted = (gen.total_rx_packets + nic.total_rx_drops
+                         + nic.total_tx_fifo_drops + absorbed)
+            if gen.total_tx_packets != accounted:
+                return [
+                    f"injected {gen.total_tx_packets} != returned "
+                    f"{gen.total_rx_packets} + NIC drops "
+                    f"{nic.total_rx_drops} + TX FIFO drops "
+                    f"{nic.total_tx_fifo_drops} + app-absorbed {absorbed}"]
+            return None
+
+        self.sim.invariants.register("node.end-to-end-conservation",
+                                     end_to_end)
+
+    def fully_quiescent(self) -> bool:
+        """Quiescent NIC, empty app pipeline, and nothing on the wire."""
+        link_idle = all(count == 0
+                        for count in self.link._in_flight.values())
+        return (self.nic_quiescent() and self.app_holding() == 0
+                and link_idle)
 
     def attach_memcached_client(
             self, client_config: MemcachedClientConfig) -> MemcachedClient:
@@ -105,9 +186,19 @@ class _BaseNode:
         """Run the configured warm-up, then reset statistics (the gem5
         methodology of §VI.A)."""
         self.run_us(self.config.warmup_us)
+        self.reset_measurement()
+
+    def reset_measurement(self) -> None:
+        """Reset every measurement counter in one place.  The counters
+        form co-reset groups (NIC stats + drop FSM, DMA engine + memory
+        hierarchy, ...) whose invariants only hold when the whole group
+        resets atomically — resetting a subset would trip the checker."""
         self.sim.reset_stats()
         self.hierarchy.reset_counters()
         self.core.reset_counters()
+        worker = getattr(self, "worker_core", None)
+        if worker is not None:
+            worker.reset_counters()
         self.dma.reset_counters()
         self.iobus.reset_counters()
 
@@ -147,6 +238,15 @@ class DpdkNode(_BaseNode):
         self.pmd: E1000Pmd = ports[0]
         if app_class is not None:
             self.install_app(app_class, **(app_kwargs or {}))
+
+    def _extra_invariant_failures(self, final: bool):
+        """Mbuf conservation, plus leak detection once the datapath is
+        quiescent (a held mbuf is legitimate while packets are in
+        flight; at quiescence it is a leak — DPDK's classic failure
+        mode, which surfaces as ``MempoolEmptyError`` much later)."""
+        expect_idle = (final and self.fully_quiescent())
+        return [f"mempool: {msg}" for msg in
+                self.mempool.invariant_failures(expect_idle=expect_idle)]
 
     def install_app(self, app_class: Type, **kwargs):
         """Instantiate the DPDK application on this node's core."""

@@ -1,0 +1,170 @@
+"""Mutation-style self-tests for the invariant checker.
+
+Each test breaks one *real* accounting site the way a regression would —
+a forgotten counter increment, a leaked buffer, a double count — and
+asserts the checker catches it.  This is the test of the tests: an
+invariant that never trips under deliberate corruption is not guarding
+anything.
+
+Every mutation is a monkeypatch of production code, applied for one run
+of the real harness; the clean-run positive controls at the bottom pin
+down the other direction (no false positives, even in strict mode and
+under overload).
+"""
+
+import pytest
+
+from repro.dpdk.pmd import E1000Pmd
+from repro.harness.runner import run_fixed_load
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.nic.drop_fsm import DropClassifier
+from repro.nic.fifo import PacketByteFifo
+from repro.sim.invariants import InvariantViolation
+from repro.system.presets import gem5_default
+
+# Fast runs: accuracy is irrelevant here, only whether the checker fires.
+N_PACKETS = 150
+LIGHT_LOAD = dict(packet_size=256, gbps=5.0)     # zero-drop regime
+OVERLOAD = dict(packet_size=64, gbps=40.0)       # heavy CoreDrop regime
+
+
+@pytest.fixture(autouse=True)
+def _final_mode(monkeypatch):
+    """Pin the default mode regardless of the ambient environment."""
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "final")
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+
+
+def _run(**kwargs):
+    merged = dict(n_packets=N_PACKETS)
+    merged.update(kwargs)
+    size = merged.pop("packet_size")
+    gbps = merged.pop("gbps")
+    app = merged.pop("app", "testpmd")
+    return run_fixed_load(gem5_default(), app, size, gbps, **merged)
+
+
+class TestDropAccountingMutations:
+    def test_lost_drop_cause_increment_trips(self, monkeypatch):
+        """Mutant: the drop FSM classifies but never counts — the bug of
+        adding a drop site without wiring its cause counter."""
+        orig = DropClassifier.on_packet_rx
+
+        def mutant(self, *args, **kwargs):
+            before = dict(self.counts)
+            state = orig(self, *args, **kwargs)
+            self.counts = before          # swallow any increment
+            return state
+
+        monkeypatch.setattr(DropClassifier, "on_packet_rx", mutant)
+        with pytest.raises(InvariantViolation, match="drop-cause"):
+            _run(**OVERLOAD)
+
+    def test_fifo_count_corruption_trips(self, monkeypatch):
+        """Mutant: one phantom enqueue count (an increment moved above an
+        early-return, say) breaks ``enqueued == dequeued + held``."""
+        orig = PacketByteFifo.try_enqueue
+        corrupted = {"done": False}
+
+        def mutant(self, packet):
+            ok = orig(self, packet)
+            if ok and not corrupted["done"]:
+                corrupted["done"] = True
+                self.enqueued += 1
+            return ok
+
+        monkeypatch.setattr(PacketByteFifo, "try_enqueue", mutant)
+        with pytest.raises(InvariantViolation, match="fifo"):
+            _run(**LIGHT_LOAD)
+
+
+class TestBufferLifetimeMutations:
+    def test_leaked_mbuf_trips_quiescence_leak_check(self, monkeypatch):
+        """Mutant: the PMD forgets to free exactly one mbuf on TX
+        completion — invisible to throughput, fatal hours later when the
+        pool runs dry.  The quiescence-gated leak check names it now."""
+        orig = E1000Pmd._on_tx_complete
+        leaked = {"done": False}
+
+        def mutant(self, packet):
+            if not leaked["done"]:
+                leaked["done"] = True
+                packet.meta.pop("mbuf", None)   # drop the reference
+                return
+            orig(self, packet)
+
+        monkeypatch.setattr(E1000Pmd, "_on_tx_complete", mutant)
+        with pytest.raises(InvariantViolation, match="leaked"):
+            _run(**LIGHT_LOAD)
+
+
+class TestDmaAccountingMutations:
+    def test_double_counted_dma_line_trips(self, monkeypatch):
+        """Mutant: the hierarchy counts each DMA'd line twice — the
+        classic stat bug that doubles reported DMA bandwidth."""
+        orig = MemoryHierarchy.dma_write_line
+
+        def mutant(self, addr, now_ns=0.0):
+            ns = orig(self, addr, now_ns)
+            self.dma_lines_written += 1
+            return ns
+
+        monkeypatch.setattr(MemoryHierarchy, "dma_write_line", mutant)
+        with pytest.raises(InvariantViolation, match="dma"):
+            _run(**LIGHT_LOAD)
+
+
+class TestPositiveControls:
+    """The mutations above only mean something if unmutated runs pass."""
+
+    def test_clean_light_load_passes(self):
+        result = _run(**LIGHT_LOAD)
+        assert result.sent > 0
+
+    def test_clean_overload_passes(self):
+        # Drops everywhere, FIFOs churning — and every conservation law
+        # still holds.
+        result = _run(**OVERLOAD)
+        assert result.drop_rate > 0.1
+
+    def test_clean_strict_mode_passes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "strict")
+        result = _run(**LIGHT_LOAD)
+        assert result.sent > 0
+
+    def test_mutation_detected_immediately_under_strict(self, monkeypatch):
+        """Strict mode catches the FIFO corruption at the corrupting
+        event, not at the end of the run."""
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "strict")
+        orig = PacketByteFifo.try_enqueue
+        corrupted = {"done": False}
+
+        def mutant(self, packet):
+            ok = orig(self, packet)
+            if ok and not corrupted["done"]:
+                corrupted["done"] = True
+                self.enqueued += 1
+            return ok
+
+        monkeypatch.setattr(PacketByteFifo, "try_enqueue", mutant)
+        with pytest.raises(InvariantViolation) as info:
+            _run(**LIGHT_LOAD)
+        assert info.value.phase == "strict"
+
+    def test_off_mode_disables_enforcement(self, monkeypatch):
+        """With checking off, even a corrupted run completes — the
+        escape hatch for bisecting the checker itself."""
+        monkeypatch.setenv("REPRO_CHECK_INVARIANTS", "off")
+        orig = PacketByteFifo.try_enqueue
+        corrupted = {"done": False}
+
+        def mutant(self, packet):
+            ok = orig(self, packet)
+            if ok and not corrupted["done"]:
+                corrupted["done"] = True
+                self.enqueued += 1
+            return ok
+
+        monkeypatch.setattr(PacketByteFifo, "try_enqueue", mutant)
+        result = _run(**LIGHT_LOAD)
+        assert result.sent > 0

@@ -1,0 +1,37 @@
+"""Acceptance bound on strict-mode overhead.
+
+Strict mode re-evaluates the strict-flagged invariants after *every*
+simulated event, so its cost is the product of event rate and per-check
+cost.  The checks are deliberately pure integer compares (the O(n)
+walks are final-only) — the contract is that strict mode stays under 2x
+the wall-clock of the default final-only mode on a drop-heavy fig-5
+style point, keeping it usable as a routine debugging tool.
+"""
+
+import time
+
+from repro.harness.runner import run_fixed_load
+from repro.system.presets import gem5_default
+
+
+def _timed_run(monkeypatch, mode: str) -> float:
+    monkeypatch.setenv("REPRO_CHECK_INVARIANTS", mode)
+    t0 = time.perf_counter()
+    result = run_fixed_load(gem5_default(), "testpmd", 64, 40.0,
+                            n_packets=500)
+    elapsed = time.perf_counter() - t0
+    assert result.sent > 0
+    return elapsed
+
+
+def test_strict_mode_under_2x_wall_clock(monkeypatch):
+    # Warm imports/allocator before timing anything.
+    _timed_run(monkeypatch, "off")
+    # Best-of-two per mode to damp scheduler noise.
+    final_s = min(_timed_run(monkeypatch, "final") for _ in range(2))
+    strict_s = min(_timed_run(monkeypatch, "strict") for _ in range(2))
+    ratio = strict_s / final_s
+    assert ratio < 2.0, (
+        f"strict mode cost {ratio:.2f}x final mode "
+        f"({strict_s:.2f}s vs {final_s:.2f}s); strict checks must stay "
+        f"cheap integer compares")
