@@ -4,7 +4,7 @@ Paper: MemcachedDPDK sustains ~709k RPS and MemcachedKernel ~218k RPS
 before the drop rate shoots up.
 """
 
-from repro.harness.experiments import fig18_memcached_rps, max_sustainable_rps
+from repro.harness.experiments import fig18_memcached_rps
 from repro.harness.report import format_series
 
 

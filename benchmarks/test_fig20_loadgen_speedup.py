@@ -7,7 +7,6 @@ simulated and timed.
 """
 
 from repro.harness.experiments import fig20_loadgen_speedup
-from repro.harness.report import format_series
 
 
 def test_fig20_loadgen_speedup(benchmark, scope, save_result):
@@ -17,8 +16,6 @@ def test_fig20_loadgen_speedup(benchmark, scope, save_result):
                 else [1.0, 2.0, 3.0, 4.0],
                 "n_requests": 1500 if scope.full else 800},
         rounds=1, iterations=1)
-    series = {label: [(i, pct) for i, (_freq, pct) in enumerate(points)]
-              for label, points in result.items()}
     lines = ["Fig 20: EtherLoadGen wall-clock speedup over dual mode",
              "=" * 56]
     for label, points in result.items():

@@ -29,6 +29,7 @@ from repro.kernelstack.driver import InterruptNicDriver
 from repro.kernelstack.stack import KernelStackModel
 from repro.mem.address import AddressSpace
 from repro.net.packet import Packet
+from repro.sim.ports import KIND_APP, RequestPort
 from repro.sim.simobject import SimObject, Simulation
 from repro.sim.ticks import ns_to_ticks
 
@@ -70,6 +71,8 @@ class DpdkApp(SimObject):
         self._holding = 0
         # The NIC's writeback hint re-arms the parked poll loop.
         pmd.nic.rx_notify = self._rx_hint
+        self.driver_port = RequestPort(self, "driver_port", KIND_APP)
+        self.driver_port.bind(pmd.app_side)
         self._register_invariants()
 
     def _register_invariants(self) -> None:
@@ -222,6 +225,8 @@ class KernelNetApp(SimObject):
         self.total_processed = 0
         self.total_responses = 0
         driver.set_rx_handler(self._on_irq)
+        self.driver_port = RequestPort(self, "driver_port", KIND_APP)
+        self.driver_port.bind(driver.app_side)
         self._register_invariants()
 
     def _register_invariants(self) -> None:

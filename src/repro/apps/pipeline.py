@@ -22,6 +22,7 @@ from repro.cpu.kernels import KernelCosts, touch_lines
 from repro.dpdk.pmd import E1000Pmd, RxMbuf
 from repro.dpdk.ring import RteRing
 from repro.mem.address import AddressSpace
+from repro.sim.ports import KIND_APP, RequestPort
 from repro.sim.simobject import SimObject, Simulation
 from repro.sim.ticks import ns_to_ticks
 
@@ -78,6 +79,8 @@ class PipelineForwarder(SimObject):
         self.total_absorbed = 0
         self._holding = 0
         pmd.nic.rx_notify = self._rx_hint
+        self.driver_port = RequestPort(self, "driver_port", KIND_APP)
+        self.driver_port.bind(pmd.app_side)
         self._register_invariants()
 
     def _register_invariants(self) -> None:

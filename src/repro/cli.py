@@ -8,6 +8,7 @@
 - ``memcached`` — load a memcached server at a fixed request rate
 - ``table1``    — print the platform configurations
 - ``apps``      — list the registered applications
+- ``graph``     — emit a node's wiring graph as Graphviz DOT
 
 Every simulation routes through the parallel sweep executor:
 ``--jobs N`` fans a sweep's points out across N worker processes and
@@ -193,6 +194,22 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _cmd_graph(args) -> int:
+    from repro.harness.runner import build_node
+
+    node = build_node(_platform(args.platform), args.app, seed=args.seed)
+    if args.loadgen:
+        node.attach_loadgen()
+    dot = node.wiring_dot()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(dot + "\n")
+        print(f"wiring graph written to {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
 def _cmd_apps(args) -> int:
     for name, (node_class, app_class, echoes) in sorted(
             APP_REGISTRY.items()):
@@ -274,6 +291,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_apps = sub.add_parser("apps", help="list registered applications")
     p_apps.set_defaults(func=_cmd_apps)
+
+    p_graph = sub.add_parser(
+        "graph", help="emit a node's wiring graph as Graphviz DOT")
+    p_graph.add_argument("app", choices=sorted(APP_REGISTRY))
+    p_graph.add_argument("--platform", default="gem5",
+                         choices=sorted(PLATFORMS))
+    p_graph.add_argument("--seed", type=int, default=0)
+    p_graph.add_argument("--loadgen", action="store_true",
+                         help="include the attached EtherLoadGen")
+    p_graph.add_argument("-o", "--output", metavar="FILE", default=None,
+                         help="write DOT to FILE instead of stdout")
+    p_graph.set_defaults(func=_cmd_graph)
 
     return parser
 

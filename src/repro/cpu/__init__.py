@@ -35,8 +35,12 @@ __all__ = [
 ]
 
 
-def make_core(config, hierarchy):
-    """Build the right core model for ``config.ooo``."""
+def make_core(config, hierarchy, clock=None, name="core"):
+    """Build the right core model for ``config.ooo``.
+
+    ``clock`` is the :class:`~repro.sim.ports.ClockDomain` the core joins
+    (or any object with ``now_ns()``); omit it for standalone timing use.
+    """
     if config.ooo:
-        return OutOfOrderCore(config, hierarchy)
-    return InOrderCore(config, hierarchy)
+        return OutOfOrderCore(config, hierarchy, clock=clock, name=name)
+    return InOrderCore(config, hierarchy, clock=clock, name=name)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.mem.hierarchy import LEVEL_L1, MemoryHierarchy
+from repro.sim.ports import KIND_CLOCK, KIND_MEM, RequestPort
 
 
 @dataclass(frozen=True)
@@ -95,17 +96,33 @@ class CoreModel:
     PREFETCH_MIN_RUN = 2
     PREFETCH_DUTY = 3   # of each DUTY lines in a run, DUTY-1 are covered
 
-    def __init__(self, config: CoreConfig, hierarchy: MemoryHierarchy) -> None:
+    def __init__(self, config: CoreConfig, hierarchy: MemoryHierarchy,
+                 clock=None, name: str = "core") -> None:
         self.config = config
         self.hierarchy = hierarchy
+        self.name = name
         self.busy_ns = 0.0
         self.work_units = 0
         self.accesses = 0
         self.l1_hits = 0
         self.prefetch_covered = 0
-        # Simulated-time source (ns); the owning node wires this to its
-        # event queue so DRAM queueing is judged against real time.
+        self.mem_port = RequestPort(self, "mem_port", KIND_MEM)
+        self.mem_port.bind(hierarchy.cpu_side)
+        self.clock_port = RequestPort(
+            self, "clock_port", KIND_CLOCK,
+            hint="give the core a time source: make_core(..., "
+                 "clock=ClockDomain(sim)) or core.set_clock(domain)")
+        # Simulated-time source; the owning topology binds a ClockDomain
+        # here so DRAM queueing is judged against real time.  ``None``
+        # (standalone/calibration use) pins time at zero.
         self.clock = None
+        if clock is not None:
+            self.set_clock(clock)
+
+    def set_clock(self, clock) -> None:
+        """Join ``clock``'s domain (an object exposing ``now_ns()``)."""
+        self.clock = clock
+        self.clock_port.bind(clock.port)
 
     def _covered_by_prefetch(self, reads: Sequence[int]) -> set:
         """Line addresses in sequential runs that the stream prefetcher
@@ -139,7 +156,7 @@ class CoreModel:
         time) so DRAM queueing delays are computed against real time.
         """
         if now_ns is None:
-            now_ns = self.clock() if self.clock is not None else 0.0
+            now_ns = self.clock.now_ns() if self.clock is not None else 0.0
         elapsed = self._time_work(work, now_ns)
         self.busy_ns += elapsed
         self.work_units += 1

@@ -17,8 +17,9 @@ from repro.mem.hierarchy import LEVEL_L1
 class InOrderCore(CoreModel):
     """Fully serialized access timing."""
 
-    def __init__(self, config: CoreConfig, hierarchy) -> None:
-        super().__init__(config, hierarchy)
+    def __init__(self, config: CoreConfig, hierarchy,
+                 clock=None, name: str = "core") -> None:
+        super().__init__(config, hierarchy, clock=clock, name=name)
 
     def _time_work(self, work: Work, now_ns: float) -> float:
         period = self.config.period_ns

@@ -25,10 +25,11 @@ class OutOfOrderCore(CoreModel):
     #: the fetch unit (with next-line prefetch) overlaps.
     FETCH_OVERLAP = 2
 
-    def __init__(self, config: CoreConfig, hierarchy: MemoryHierarchy) -> None:
+    def __init__(self, config: CoreConfig, hierarchy: MemoryHierarchy,
+                 clock=None, name: str = "core") -> None:
         if not config.ooo:
             raise ValueError("OutOfOrderCore requires config.ooo=True")
-        super().__init__(config, hierarchy)
+        super().__init__(config, hierarchy, clock=clock, name=name)
         self._mlp_limit = self._compute_mlp_limit()
 
     def _compute_mlp_limit(self) -> int:

@@ -15,6 +15,7 @@ from typing import List, Optional
 from repro.dpdk.hugepages import HugepageAllocator
 from repro.mem.address import Region
 from repro.net.packet import Packet
+from repro.sim.ports import KIND_BUFFER, ResponsePort
 
 MBUF_HEADROOM = 128
 DEFAULT_MBUF_SIZE = 2048
@@ -58,6 +59,9 @@ class Mempool:
         self.name = name
         self.n_mbufs = n_mbufs
         self.mbuf_size = mbuf_size
+        # Buffer clients (PMDs, apps) bind here; several may share a pool.
+        self.client_side = ResponsePort(self, "client_side", KIND_BUFFER,
+                                        multi=True)
         self.region: Region = hugepages.allocate(n_mbufs * mbuf_size)
         self._free: List[Mbuf] = [
             Mbuf(i, self.region.base + i * mbuf_size, mbuf_size, self)

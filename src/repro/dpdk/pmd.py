@@ -14,6 +14,13 @@ from typing import List, Sequence
 from repro.dpdk.mempool import Mbuf, Mempool
 from repro.net.packet import Packet
 from repro.nic.i8254x import I8254xNic, REG_IMC
+from repro.sim.ports import (
+    KIND_APP,
+    KIND_BUFFER,
+    KIND_DRIVER,
+    RequestPort,
+    ResponsePort,
+)
 
 
 class PmdLaunchError(RuntimeError):
@@ -39,7 +46,18 @@ class E1000Pmd:
                 "(dpdk-devbind.py -b uio_pci_generic <BDF>)")
         self.nic = nic
         self.mempool = mempool
+        self.name = f"{nic.name}.pmd"
+        self.device_port = RequestPort(self, "device_port", KIND_DRIVER)
+        self.mempool_port = RequestPort(self, "mempool_port", KIND_BUFFER)
+        self.app_side = ResponsePort(
+            self, "app_side", KIND_APP,
+            hint="install a DPDK application on this PMD "
+                 "(node.install_app / install_pipeline_app)")
         self._launch()
+        # A PMD owns its device and buffer pool for its lifetime; record
+        # both edges in the wiring graph once the launch has succeeded.
+        self.device_port.bind(nic.driver_side)
+        self.mempool_port.bind(mempool.client_side)
         self.rx_bursts = 0
         self.empty_rx_bursts = 0
         self.rx_packets = 0

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.harness.runner import run_fixed_load
-from repro.loadgen.ether_load_gen import gbps_for_pps, pps_for_gbps
+from repro.loadgen.ether_load_gen import gbps_for_pps
 from repro.system.config import SystemConfig
 
 DROP_THRESHOLD = 0.01

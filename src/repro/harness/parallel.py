@@ -54,9 +54,9 @@ import queue as queue_lib
 import time
 import traceback
 from collections import deque
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.harness.msb import MsbResult, find_msb
 from repro.harness.runner import (

@@ -7,6 +7,7 @@ results are read.
 
 from __future__ import annotations
 
+import difflib
 import os
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -49,8 +50,10 @@ def build_node(config: SystemConfig, app_name: str,
     automatically.
     """
     if app_name not in APP_REGISTRY:
+        close = difflib.get_close_matches(app_name, APP_REGISTRY, n=1)
+        suggestion = f" (did you mean {close[0]!r}?)" if close else ""
         raise ValueError(
-            f"unknown app {app_name!r}; expected one of "
+            f"unknown app {app_name!r}{suggestion}; expected one of "
             f"{sorted(APP_REGISTRY)}")
     node_class, app_class, _echoes = APP_REGISTRY[app_name]
     node = node_class(config, seed=seed)
@@ -59,6 +62,9 @@ def build_node(config: SystemConfig, app_name: str,
             and "store" not in options:
         options["store"] = KvStore(node.address_space)
     node.install_app(app_class, **options)
+    # Catch wiring regressions at build time: every non-external port of
+    # the assembled node must be bound before any load is offered.
+    node.validate_wiring()
     return node
 
 

@@ -16,6 +16,13 @@ from repro.kernelstack.stack import KernelStackModel
 from repro.net.packet import Packet
 from repro.nic.descriptors import RxDescriptor
 from repro.nic.i8254x import I8254xNic, ICR_RXT0, REG_IMC, REG_IMS
+from repro.sim.ports import (
+    KIND_APP,
+    KIND_DRIVER,
+    KIND_STACK,
+    RequestPort,
+    ResponsePort,
+)
 
 
 class InterruptNicDriver:
@@ -24,8 +31,17 @@ class InterruptNicDriver:
     def __init__(self, nic: I8254xNic, stack: KernelStackModel) -> None:
         self.nic = nic
         self.stack = stack
+        self.name = f"{nic.name}.e1000"
         self.interrupts_taken = 0
         self._rx_handler: Optional[Callable[[int], None]] = None
+        self.device_port = RequestPort(self, "device_port", KIND_DRIVER)
+        self.device_port.bind(nic.driver_side)
+        self.stack_port = RequestPort(self, "stack_port", KIND_STACK)
+        self.stack_port.bind(stack.driver_side)
+        self.app_side = ResponsePort(
+            self, "app_side", KIND_APP,
+            hint="install a kernel-stack application on this driver "
+                 "(node.install_app)")
         nic.rx_buffer_source = self._rx_buffer_for
         nic.rx_notify = self._on_rx_writeback
         nic.bind_driver("e1000")

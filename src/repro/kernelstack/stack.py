@@ -21,6 +21,7 @@ from typing import List
 from repro.cpu.core import Work
 from repro.cpu.kernels import KernelCosts, LINE_SIZE, lines_covering
 from repro.mem.address import AddressSpace, Region
+from repro.sim.ports import KIND_STACK, ResponsePort
 
 
 @dataclass
@@ -42,8 +43,12 @@ class KernelStackModel:
     USER_BUFFER_BYTES = 512 * 1024
 
     def __init__(self, address_space: AddressSpace,
-                 costs: KernelCosts = KernelCosts()) -> None:
+                 costs: KernelCosts = KernelCosts(),
+                 name: str = "kernel.stack") -> None:
         self.costs = costs
+        self.name = name
+        # The interrupt driver binds here; the stack serves it work costs.
+        self.driver_side = ResponsePort(self, "driver_side", KIND_STACK)
         self.skb_pool: Region = address_space.allocate(
             "kernel.skb_pool", self.SKB_POOL_BYTES)
         self.kernel_text: Region = address_space.allocate(

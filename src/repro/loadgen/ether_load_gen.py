@@ -142,7 +142,7 @@ class EtherLoadGen(SimObject):
         super().__init__(sim, name)
         self.dst_mac = dst_mac
         self.src_mac = src_mac
-        self.port = EtherPort(f"{name}.port", self._on_rx)
+        self.port = EtherPort(f"{name}.port", self._on_rx, owner=self)
         self.latency = LatencyTracker(name)
         self.tx_packets = 0
         self.tx_bytes = 0

@@ -76,7 +76,7 @@ class MemcachedClient(SimObject):
         self.config = config
         self.dst_mac = dst_mac
         self.src_mac = src_mac
-        self.port = EtherPort(f"{name}.port", self._on_rx)
+        self.port = EtherPort(f"{name}.port", self._on_rx, owner=self)
         self.latency = LatencyTracker(name)
         rng = sim.rng.fork(f"{name}.workload")
         self._rng = rng

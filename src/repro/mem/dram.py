@@ -46,8 +46,9 @@ class DramModel:
     channel's busy horizon by the line transfer time.
     """
 
-    def __init__(self, config: DramConfig) -> None:
+    def __init__(self, config: DramConfig, name: str = "dram") -> None:
         self.config = config
+        self.name = name
         # open_rows[channel][bank] -> row id (or -1)
         self._open_rows: List[List[int]] = [
             [-1] * config.banks_per_channel for _ in range(config.channels)]

@@ -24,6 +24,7 @@ from repro.mem.cache import (
     SetAssocCache,
 )
 from repro.mem.dram import DramConfig, DramModel
+from repro.sim.ports import KIND_MEM, ResponsePort
 
 LEVEL_L1 = "l1"
 LEVEL_L2 = "l2"
@@ -69,14 +70,20 @@ class HierarchyConfig:
 class MemoryHierarchy:
     """L1I/L1D -> inclusive L2 -> LLC (with DCA partition) -> DRAM."""
 
-    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+    def __init__(self, config: Optional[HierarchyConfig] = None,
+                 name: str = "hierarchy") -> None:
         self.config = config or HierarchyConfig()
+        self.name = name
         cfg = self.config
         self.l1i = SetAssocCache(cfg.l1i)
         self.l1d = SetAssocCache(cfg.l1d)
         self.l2 = SetAssocCache(cfg.l2)
         self.llc = SetAssocCache(cfg.llc)
-        self.dram = DramModel(cfg.dram)
+        self.dram = DramModel(cfg.dram, name=f"{name}.dram")
+        # Cores above, DMA engines below; both are memory requestors and
+        # may share the hierarchy (pipeline worker core, dual-mode client).
+        self.cpu_side = ResponsePort(self, "cpu_side", KIND_MEM, multi=True)
+        self.dma_side = ResponsePort(self, "dma_side", KIND_MEM, multi=True)
         # DMA-side counters (the Fig 13 "DMA leak" evidence).
         self.dma_lines_written = 0
         self.dma_lines_read = 0

@@ -10,6 +10,8 @@ so back-to-back DMA transfers queue behind each other.
 
 from __future__ import annotations
 
+from repro.sim.ports import KIND_BUS, ResponsePort
+
 
 class BandwidthServer:
     """A work-conserving FIFO server over a fixed-bandwidth link.
@@ -27,6 +29,9 @@ class BandwidthServer:
         self.name = name
         self.bytes_per_sec = bytes_per_sec
         self.latency_ticks = latency_ticks
+        # Devices (DMA engines) bind here to move bytes over this link.
+        self.device_side = ResponsePort(self, "device_side", KIND_BUS,
+                                        multi=True)
         self._free_at = 0
         self.bytes_moved = 0
         self.transfers = 0

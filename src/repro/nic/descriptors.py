@@ -51,6 +51,9 @@ class DescriptorRing:
                 f"{size} descriptors")
         self.size = size
         self.region = region
+        # Rings are addressed through their backing region, so the region
+        # name doubles as the ring's label in the wiring graph.
+        self.name = region.name
 
     def desc_addr(self, index: int) -> int:
         """Memory address of descriptor ``index`` (for cache modelling)."""

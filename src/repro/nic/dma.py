@@ -22,6 +22,13 @@ from dataclasses import dataclass
 from repro.cpu.kernels import LINE_SIZE, lines_covering
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.xbar import BandwidthServer
+from repro.sim.ports import (
+    KIND_BUS,
+    KIND_DMA,
+    KIND_MEM,
+    RequestPort,
+    ResponsePort,
+)
 from repro.sim.ticks import TICKS_PER_NS
 
 
@@ -45,13 +52,28 @@ class DmaEngine:
 
     def __init__(self, config: DmaConfig, iobus_rx: BandwidthServer,
                  hierarchy: MemoryHierarchy,
-                 iobus_tx: BandwidthServer = None) -> None:
+                 iobus_tx: BandwidthServer = None,
+                 name: str = "dma") -> None:
         self.config = config
+        self.name = name
         self.iobus_rx = iobus_rx
         self.iobus_tx = iobus_tx if iobus_tx is not None else BandwidthServer(
             f"{iobus_rx.name}.tx", iobus_rx.bytes_per_sec,
             iobus_rx.latency_ticks)
         self.hierarchy = hierarchy
+        # The device (NIC) binds its dma_port here; the engine itself is a
+        # requestor toward the memory hierarchy and both bus directions.
+        self.device_side = ResponsePort(self, "device_side", KIND_DMA)
+        self.mem_port = RequestPort(self, "mem_port", KIND_MEM)
+        self.mem_port.bind(hierarchy.dma_side)
+        self.bus_rx_port = RequestPort(self, "bus_rx_port", KIND_BUS)
+        self.bus_rx_port.bind(self.iobus_rx.device_side,
+                              bytes_per_sec=self.iobus_rx.bytes_per_sec,
+                              latency_ticks=self.iobus_rx.latency_ticks)
+        self.bus_tx_port = RequestPort(self, "bus_tx_port", KIND_BUS)
+        self.bus_tx_port.bind(self.iobus_tx.device_side,
+                              bytes_per_sec=self.iobus_tx.bytes_per_sec,
+                              latency_ticks=self.iobus_tx.latency_ticks)
         self._rx_busy_until = 0
         self._tx_busy_until = 0
         self.packets_written = 0

@@ -17,9 +17,10 @@ from repro.net.packet import Packet
 class PacketByteFifo:
     """A byte-capacity-bounded FIFO of packets."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: int, name: str = "fifo") -> None:
         if capacity_bytes <= 0:
             raise ValueError("FIFO capacity must be positive")
+        self.name = name
         self.capacity_bytes = capacity_bytes
         self._queue: Deque[Packet] = deque()
         self._bytes = 0

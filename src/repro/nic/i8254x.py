@@ -30,6 +30,7 @@ from repro.nic.phy import EtherPort
 from repro.net.packet import Packet
 from repro.pci.config_space import PciQuirks
 from repro.pci.device import PciDevice
+from repro.sim.ports import KIND_DMA, KIND_DRIVER, RequestPort, ResponsePort
 from repro.sim.simobject import SimObject, Simulation
 from repro.sim.ticks import us_to_ticks
 
@@ -106,8 +107,10 @@ class I8254xNic(SimObject, PciDevice):
         PciDevice.__init__(self, INTEL_VENDOR_ID, E1000_DEVICE_ID, pci_quirks)
         self.nic_config = config
         self.dma = dma_engine
-        self.rx_fifo = PacketByteFifo(config.rx_fifo_bytes)
-        self.tx_fifo = PacketByteFifo(config.tx_fifo_bytes)
+        self.rx_fifo = PacketByteFifo(config.rx_fifo_bytes,
+                                      name=f"{name}.rx_fifo")
+        self.tx_fifo = PacketByteFifo(config.tx_fifo_bytes,
+                                      name=f"{name}.tx_fifo")
         rx_region = address_space.allocate(
             f"{name}.rx_ring", config.rx_ring_size * 16)
         tx_region = address_space.allocate(
@@ -122,9 +125,17 @@ class I8254xNic(SimObject, PciDevice):
         self._wb_timer_disabled = False
         self.tx_ring = TxRing(config.tx_ring_size, tx_region)
         self.drop_fsm = DropClassifier()
-        self.port = EtherPort(f"{name}.port", self._on_wire_rx)
+        self.port = EtherPort(f"{name}.port", self._on_wire_rx, owner=self)
+        # Typed wiring: the NIC is a requestor toward its DMA engine, and
+        # serves exactly one driver (PMD or kernel) on driver_side.
+        self.dma_port = RequestPort(self, "dma_port", KIND_DMA)
+        self.dma_port.bind(dma_engine.device_side)
+        self.driver_side = ResponsePort(
+            self, "driver_side", KIND_DRIVER,
+            hint="attach a driver to this NIC (E1000Pmd for DPDK, "
+                 "InterruptNicDriver for the kernel stack)")
 
-        # Driver hooks.
+        # Driver hooks (set by the driver when it binds driver_side).
         self.rx_buffer_source: Optional[Callable[[Packet], int]] = None
         self.rx_notify: Optional[Callable[[int], None]] = None
         self.tx_complete_notify: Optional[Callable[[Packet], None]] = None

@@ -11,18 +11,34 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.net.packet import Packet
+from repro.sim.ports import PacketPort
 from repro.sim.simobject import SimObject, Simulation
 
 
-class EtherPort:
-    """One end of a link: owned by a device that can receive frames."""
+class EtherPort(PacketPort):
+    """One end of a link: owned by a device that can receive frames.
 
-    def __init__(self, name: str, on_receive: Callable[[Packet], None]) -> None:
+    A packet-kind :class:`~repro.sim.ports.Port`: two EtherPorts bind
+    peer-to-peer through the :class:`EtherLink` (which supplies the
+    binding's bandwidth/latency metadata), and the typed-port checks
+    reject wiring mistakes — binding a port twice, or to something that
+    is not a packet endpoint — at build time.
+    """
+
+    def __init__(self, name: str, on_receive: Callable[[Packet], None],
+                 owner=None) -> None:
+        super().__init__(owner, name, external=True)
         self.name = name
         self.on_receive = on_receive
         self.link: Optional["EtherLink"] = None
         self.frames_sent = 0
         self.frames_received = 0
+
+    @property
+    def full_name(self) -> str:
+        # EtherPort names have always been fully qualified ("nic0.port");
+        # keep them as-is rather than re-prefixing with the owner.
+        return self.name
 
     def send(self, packet: Packet) -> None:
         """Transmit toward the peer port."""
@@ -64,9 +80,18 @@ class EtherLink(SimObject):
         self.stat_bytes = self.stats.counter("bytes", "bytes carried")
 
     def connect(self, port_a: EtherPort, port_b: EtherPort) -> None:
-        """Attach the two endpoint ports to this link."""
+        """Attach the two endpoint ports to this link.
+
+        This is a typed-port binding: direction/kind are validated, the
+        link's bandwidth and propagation delay become the binding's
+        metadata, and the wire's frame-conservation invariant is
+        registered against the connection.
+        """
         if self._port_a is not None or self._port_b is not None:
             raise RuntimeError(f"{self.name} is already connected")
+        port_a.bind(port_b, link=self,
+                    bandwidth_bits_per_sec=self.bandwidth_bits_per_sec,
+                    delay_ticks=self.delay_ticks)
         self._port_a, self._port_b = port_a, port_b
         port_a.link = self
         port_b.link = self

@@ -45,6 +45,16 @@ from repro.sim.invariants import (
     InvariantViolation,
     mode_from_env,
 )
+from repro.sim.ports import (
+    CallbackClock,
+    ClockDomain,
+    PacketPort,
+    Port,
+    PortBindError,
+    RequestPort,
+    ResponsePort,
+    ports_of,
+)
 
 __all__ = [
     "TICKS_PER_SEC",
@@ -76,4 +86,12 @@ __all__ = [
     "InvariantRegistry",
     "InvariantViolation",
     "mode_from_env",
+    "CallbackClock",
+    "ClockDomain",
+    "PacketPort",
+    "Port",
+    "PortBindError",
+    "RequestPort",
+    "ResponsePort",
+    "ports_of",
 ]

@@ -25,6 +25,12 @@ from repro.system.presets import (
 from repro.system.node import DpdkNode, KernelNode, NodeBuildError
 from repro.system.dual_mode import DualModeResult, run_dual_mode_comparison
 from repro.system.dist import DistCoordinator, DistEtherLink
+from repro.system.topology import (
+    Platform,
+    Topology,
+    TopologyError,
+    build_platform,
+)
 
 __all__ = [
     "SystemConfig",
@@ -46,4 +52,8 @@ __all__ = [
     "run_dual_mode_comparison",
     "DistCoordinator",
     "DistEtherLink",
+    "Platform",
+    "Topology",
+    "TopologyError",
+    "build_platform",
 ]

@@ -21,10 +21,11 @@ skew/ordering invariants are testable.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.nic.phy import EtherPort
+from repro.sim.ports import PacketPort
 from repro.sim.simobject import Simulation
 
 
@@ -37,6 +38,10 @@ class DistPortAdapter:
         self.name = name
         self._link = link
         self._side = side
+        #: Typed stand-in for the far simulation's half of the cable; the
+        #: local device port binds here, so the cross-simulation edge shows
+        #: up in the wiring graph like any other packet link.
+        self.wire = PacketPort(self, "wire", external=True)
         self.peer_port: Optional[EtherPort] = None
         self._tx_free_at = 0
 
@@ -44,6 +49,10 @@ class DistPortAdapter:
         """Wire a device port to this end of the distributed link."""
         if port.link is not None:
             raise RuntimeError(f"{port.name} is already connected")
+        self.wire.bind(
+            port, link=self,
+            bandwidth_bits_per_sec=self._link.bandwidth_bits_per_sec,
+            delay_ticks=self._link.delay_ticks)
         port.link = self
         self.peer_port = port
 

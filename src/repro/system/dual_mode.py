@@ -244,36 +244,37 @@ def run_dual_mode_comparison(config: SystemConfig, kernel: bool = False,
 def _build_client_in(server, config: SystemConfig, kernel: bool,
                      n_requests: int, rate_rps: float):
     """Construct the Drive Node inside the server's Simulation and wire
-    the two NICs with the server's link."""
-    from repro.cpu import make_core
+    the two NICs with the server's link.
+
+    The client reuses the same declarative platform builder as a full
+    node — prefixed names, its own address space — so dual mode is one
+    :class:`~repro.system.topology.Topology` covering both hosts.
+    """
     from repro.dpdk.hugepages import HugepageAllocator
     from repro.dpdk.mempool import Mempool
     from repro.dpdk.pmd import E1000Pmd
     from repro.kernelstack.driver import InterruptNicDriver
     from repro.kernelstack.stack import KernelStackModel
     from repro.mem.address import AddressSpace
-    from repro.mem.hierarchy import MemoryHierarchy
-    from repro.mem.xbar import BandwidthServer
-    from repro.nic.dma import DmaEngine
-    from repro.nic.i8254x import I8254xNic
     from repro.pci.uio import UioPciGeneric
-    from repro.sim.ticks import ns_to_ticks
+    from repro.system.topology import build_platform
 
     sim = server.sim
-    aspace = AddressSpace(base=0x8000_0000)
-    hierarchy = MemoryHierarchy(config.hierarchy)
-    core = make_core(config.core, hierarchy)
-    core.clock = lambda: sim.now / 1000.0
-    iobus = BandwidthServer("client.iobus", config.iobus_bytes_per_sec,
-                            ns_to_ticks(config.iobus_latency_ns))
-    dma = DmaEngine(config.nic.dma, iobus, hierarchy)
-    nic = I8254xNic(sim, "client.nic0", config.nic, dma, aspace,
-                    config.pci_quirks)
+    topo = server.topology
+    platform = build_platform(
+        topo, sim, config, prefix="client.",
+        address_space=AddressSpace(base=0x8000_0000))
+    aspace = platform.address_space
+    core = platform.core
+    nic = platform.nic
     server.link.connect(nic.port, server.nic.port)
     workload = _ClientWorkload(sim.rng.fork("client.workload"))
     if kernel:
-        stack = KernelStackModel(aspace, config.costs)
+        stack = KernelStackModel(aspace, config.costs,
+                                 name="client.kernel.stack")
+        topo.add("client.kernel.stack", stack)
         driver = InterruptNicDriver(nic, stack)
+        topo.add("client.driver", driver)
         client = _KernelClientApp(sim, "client.app", driver, stack, core,
                                   config.costs, workload=workload,
                                   n_requests=n_requests, rate_rps=rate_rps)
@@ -284,9 +285,12 @@ def _build_client_in(server, config: SystemConfig, kernel: bool,
         mempool = Mempool("client.mbuf_pool", hugepages,
                           n_mbufs=config.mempool_mbufs,
                           mbuf_size=config.mbuf_size)
+        topo.add("client.mbuf_pool", mempool)
         pmd = E1000Pmd(nic, mempool)
+        topo.add("client.pmd", pmd)
         client = _DpdkClientApp(sim, "client.app", pmd, core, config.costs,
                                 aspace, workload=workload,
                                 n_requests=n_requests, rate_rps=rate_rps)
+    topo.add("client.app", client)
     client.workload = workload
     return client

@@ -26,17 +26,14 @@ from repro.loadgen.ether_load_gen import (
     EtherLoadGen,
 )
 from repro.loadgen.memcached_client import MemcachedClient, MemcachedClientConfig
-from repro.mem.address import AddressSpace
-from repro.mem.hierarchy import MemoryHierarchy
-from repro.mem.xbar import BandwidthServer
-from repro.nic.dma import DmaEngine
-from repro.nic.i8254x import E1000_DEVICE_ID, I8254xNic, INTEL_VENDOR_ID
+from repro.nic.i8254x import E1000_DEVICE_ID, INTEL_VENDOR_ID
 from repro.nic.phy import EtherLink
 from repro.pci.bus import PciBus
 from repro.pci.uio import UioBindError, UioPciGeneric
 from repro.sim.simobject import Simulation
-from repro.sim.ticks import ns_to_ticks, us_to_ticks
+from repro.sim.ticks import us_to_ticks
 from repro.system.config import SystemConfig
+from repro.system.topology import Topology, build_platform
 
 
 class NodeBuildError(RuntimeError):
@@ -44,22 +41,28 @@ class NodeBuildError(RuntimeError):
 
 
 class _BaseNode:
-    """Common plumbing: sim, memory, core, NIC, link."""
+    """Common plumbing: sim, memory, core, NIC, link.
+
+    The components themselves come from the shared
+    :func:`~repro.system.topology.build_platform` builder; this class
+    keeps the flat attribute API (``node.core``, ``node.nic``, ...) the
+    harness and tests use, while ``node.topology`` holds the typed
+    wiring graph for validation and rendering.
+    """
 
     def __init__(self, config: SystemConfig, seed: int = 0) -> None:
         self.config = config
         self.sim = Simulation(seed=seed)
-        self.address_space = AddressSpace()
-        self.hierarchy = MemoryHierarchy(config.hierarchy)
-        self.core = make_core(config.core, self.hierarchy)
-        self.core.clock = lambda: self.sim.now / 1000.0   # ticks -> ns
-        self.iobus = BandwidthServer(
-            "iobus", config.iobus_bytes_per_sec,
-            ns_to_ticks(config.iobus_latency_ns))
-        self.dma = DmaEngine(config.nic.dma, self.iobus, self.hierarchy)
-        self.nic = I8254xNic(self.sim, "nic0", self._nic_config(),
-                             self.dma, self.address_space,
-                             config.pci_quirks)
+        self.topology = Topology(config.label)
+        platform = build_platform(self.topology, self.sim, config,
+                                  nic_config=self._nic_config())
+        self.address_space = platform.address_space
+        self.hierarchy = platform.hierarchy
+        self.clock_domain = platform.clock
+        self.core = platform.core
+        self.iobus = platform.iobus
+        self.dma = platform.dma
+        self.nic = platform.nic
         self.pci_bus = PciBus()
         self.pci_bus.attach("00:02.0", self.nic)
         self.link = EtherLink(self.sim, "link0",
@@ -72,6 +75,16 @@ class _BaseNode:
 
     def _nic_config(self):
         return self.config.nic
+
+    # -- wiring graph ------------------------------------------------------
+
+    def validate_wiring(self) -> None:
+        """Fail with the dangling ports named if the node is half-wired."""
+        self.topology.validate()
+
+    def wiring_dot(self) -> str:
+        """The node's wiring graph in Graphviz DOT form."""
+        return self.topology.to_dot()
 
     # -- invariants -------------------------------------------------------
 
@@ -127,6 +140,7 @@ class _BaseNode:
         self.loadgen = EtherLoadGen(self.sim, "loadgen",
                                     dst_mac=DEFAULT_DST_MAC,
                                     src_mac=DEFAULT_SRC_MAC)
+        self.topology.add("loadgen", self.loadgen)
         self.link.connect(self.loadgen.port, self.nic.port)
         self._register_end_to_end_invariant()
         return self.loadgen
@@ -173,6 +187,7 @@ class _BaseNode:
         self.memcached_client = MemcachedClient(
             self.sim, "memcached_client", client_config,
             dst_mac=DEFAULT_DST_MAC, src_mac=DEFAULT_SRC_MAC)
+        self.topology.add("memcached_client", self.memcached_client)
         self.link.connect(self.memcached_client.port, self.nic.port)
         return self.memcached_client
 
@@ -215,7 +230,10 @@ class DpdkNode(_BaseNode):
             self.uio.bind(self.nic)
         except UioBindError as exc:
             raise NodeBuildError(
-                f"cannot run DPDK on {config.label}: {exc}") from exc
+                f"cannot run DPDK on {config.label}: {exc} — flip "
+                f"SystemConfig.pci_quirks from PciQuirks.baseline_gem5() "
+                f"to PciQuirks() (the paper's §III.A.1-2 PCI fixes)"
+            ) from exc
         # echo 2048 > .../nr_hugepages
         self.hugepages = HugepageAllocator(self.address_space,
                                            config.nr_hugepages)
@@ -227,6 +245,7 @@ class DpdkNode(_BaseNode):
         self.mempool = Mempool("mbuf_pool", self.hugepages,
                                n_mbufs=n_mbufs,
                                mbuf_size=config.mbuf_size)
+        self.topology.add("mbuf_pool", self.mempool)
         # dpdk-<app> -l 0-3 -n 4 ...  (EAL probe + PMD launch)
         self.eal = Eal(self.pci_bus, config.eal)
         self.eal.register_pmd(INTEL_VENDOR_ID, E1000_DEVICE_ID, E1000Pmd)
@@ -234,8 +253,10 @@ class DpdkNode(_BaseNode):
             ports = self.eal.probe(self.mempool)
         except Exception as exc:
             raise NodeBuildError(
-                f"EAL probe failed on {config.label}: {exc}") from exc
+                f"EAL probe failed on {config.label}: {exc} — check "
+                f"SystemConfig.nic.quirks and SystemConfig.eal") from exc
         self.pmd: E1000Pmd = ports[0]
+        self.topology.add("pmd", self.pmd)
         if app_class is not None:
             self.install_app(app_class, **(app_kwargs or {}))
 
@@ -254,23 +275,27 @@ class DpdkNode(_BaseNode):
             raise NodeBuildError("node already runs an application")
         self.app = app_class(self.sim, "app", self.pmd, self.core,
                              self.config.costs, self.address_space, **kwargs)
+        self.topology.add("app", self.app)
         return self.app
 
     def install_pipeline_app(self, ring_size: int = 1024,
                              touch_payload: bool = False):
         """Instantiate a pipeline-mode application (paper §II.A): the
         existing core runs the RX stage and a second core (same
-        configuration, shared memory hierarchy) runs the worker stage."""
+        configuration, shared memory hierarchy and clock domain) runs
+        the worker stage."""
         from repro.apps.pipeline import PipelineForwarder
-        from repro.cpu import make_core
         if self.app is not None:
             raise NodeBuildError("node already runs an application")
-        self.worker_core = make_core(self.config.core, self.hierarchy)
-        self.worker_core.clock = self.core.clock
+        self.worker_core = make_core(self.config.core, self.hierarchy,
+                                     clock=self.clock_domain,
+                                     name="worker_core")
+        self.topology.add("worker_core", self.worker_core)
         self.app = PipelineForwarder(
             self.sim, "app", self.pmd, self.core, self.worker_core,
             self.config.costs, self.address_space,
             ring_size=ring_size, touch_payload=touch_payload)
+        self.topology.add("app", self.app)
         return self.app
 
     def start(self, when: int = 0) -> None:
@@ -287,7 +312,9 @@ class KernelNode(_BaseNode):
                  app_kwargs: Optional[dict] = None, seed: int = 0) -> None:
         super().__init__(config, seed=seed)
         self.stack = KernelStackModel(self.address_space, config.costs)
+        self.topology.add("kernel.stack", self.stack)
         self.driver = InterruptNicDriver(self.nic, self.stack)
+        self.topology.add("driver", self.driver)
         if app_class is not None:
             self.install_app(app_class, **(app_kwargs or {}))
 
@@ -297,6 +324,7 @@ class KernelNode(_BaseNode):
             raise NodeBuildError("node already runs an application")
         self.app = app_class(self.sim, "app", self.driver, self.stack,
                              self.core, self.config.costs, **kwargs)
+        self.topology.add("app", self.app)
         return self.app
 
     def _nic_config(self):

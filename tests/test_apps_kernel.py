@@ -1,7 +1,5 @@
 """Unit tests for the kernel-stack applications."""
 
-import pytest
-
 from repro.apps.iperf import IperfServer
 from repro.apps.memcached_kernel import MemcachedKernel
 from repro.kvstore.store import KvStore

@@ -69,3 +69,15 @@ class TestCommands:
                      "--max-gbps", "16"]) == 0
         out = capsys.readouterr().out
         assert "MSB" in out
+
+    def test_graph_emits_dot(self, capsys):
+        assert main(["graph", "testpmd", "--loadgen"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "gem5"')
+        assert '"loadgen"' in out and '"nic0"' in out
+
+    def test_graph_writes_file(self, capsys, tmp_path):
+        target = tmp_path / "wiring.dot"
+        assert main(["graph", "iperf", "-o", str(target)]) == 0
+        assert target.read_text().startswith("digraph")
+        assert str(target) in capsys.readouterr().out

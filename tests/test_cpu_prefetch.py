@@ -1,7 +1,5 @@
 """Unit tests for the stream-prefetcher model and core clocking."""
 
-import pytest
-
 from repro.cpu import InOrderCore, OutOfOrderCore
 from repro.cpu.core import CoreConfig, Work
 from repro.mem.hierarchy import MemoryHierarchy
@@ -85,15 +83,20 @@ class TestPrefetchTiming:
 
 class TestCoreClock:
     def test_clock_used_when_wired(self):
+        from repro.sim.ports import CallbackClock
+
         core = ooo()
         called = []
-        core.clock = lambda: called.append(1) or 5000.0
+        core.set_clock(CallbackClock(lambda: called.append(1) or 5000.0))
         core.execute(Work(reads=[0x700000]))
         assert called
 
     def test_explicit_now_overrides_clock(self):
+        from repro.sim.ports import CallbackClock
+
         core = ooo()
-        core.clock = lambda: (_ for _ in ()).throw(AssertionError)
+        core.set_clock(CallbackClock(
+            lambda: (_ for _ in ()).throw(AssertionError)))
         core.execute(Work(reads=[0x700000]), now_ns=123.0)   # no raise
 
     def test_dram_demand_load_pays_fabric_latency(self):

@@ -60,3 +60,37 @@ def test_registered_apps_documented_in_design():
                   "MemcachedDPDK", "MemcachedKernel", "iperf"):
         assert label in design
     assert len(APP_REGISTRY) == 7
+
+
+def test_architecture_doc_exists_and_is_linked():
+    doc = (REPO / "docs" / "architecture.md").read_text()
+    assert "port taxonomy" in doc.lower() or "Port taxonomy" in doc
+    readme = (REPO / "README.md").read_text()
+    assert "docs/architecture.md" in readme
+    tracing = (REPO / "docs" / "tracing_and_invariants.md").read_text()
+    assert "architecture.md" in tracing
+
+
+def test_architecture_doc_dot_matches_generated():
+    """The DOT graph embedded in docs/architecture.md is the one the
+    builder actually emits for a DPDK testpmd node."""
+    from repro.apps.testpmd import TestPmd
+    from repro.system.node import DpdkNode
+    from repro.system.presets import gem5_default
+
+    node = DpdkNode(gem5_default(), seed=0)
+    node.install_app(TestPmd)
+    node.attach_loadgen()
+    doc = (REPO / "docs" / "architecture.md").read_text()
+    assert node.wiring_dot() in doc, \
+        "docs/architecture.md DOT is stale; regenerate with " \
+        "`python -m repro graph testpmd --loadgen`"
+
+
+def test_architecture_doc_port_kinds_are_real():
+    from repro.sim import ports
+
+    doc = (REPO / "docs" / "architecture.md").read_text()
+    for kind in ports.KINDS:
+        assert f"`{kind}`" in doc, \
+            f"port kind {kind!r} missing from docs/architecture.md"

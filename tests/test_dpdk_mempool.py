@@ -5,7 +5,6 @@ import pytest
 from repro.dpdk.hugepages import HUGEPAGE_SIZE, HugepageAllocator
 from repro.dpdk.mempool import (
     MBUF_HEADROOM,
-    Mbuf,
     Mempool,
     MempoolEmptyError,
 )

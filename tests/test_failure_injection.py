@@ -1,7 +1,5 @@
 """Failure-injection tests: the simulator degrades, it does not crash."""
 
-import pytest
-
 from repro.apps.testpmd import TestPmd as PmdApp  # noqa: N811
 from repro.apps.touchfwd import TouchFwd
 from repro.loadgen.ether_load_gen import SyntheticConfig

@@ -1,0 +1,79 @@
+"""Bit-identical wiring regression: one traced sweep point vs golden.
+
+The typed-port/topology refactor promises *behaviour-preserving*
+re-wiring: the golden file under ``tests/golden/wiring_stability.json``
+was captured on the hand-wired assembly, and this test replays the same
+traced fixed-load point on the current builder.  Three things must hold
+exactly (no tolerances — the harness is deterministic):
+
+- ``SystemConfig.stable_hash()`` — the parallel executor's cache key; a
+  drift here silently invalidates every cached sweep result;
+- the run's ``trace_digest`` — SHA-256 over the full event trace, i.e.
+  every simulated event still happens at the same tick in the same
+  order;
+- the full result record (drops, latency summary, service rate, ...).
+
+After an *intentional* behaviour change, regenerate with
+``REPRO_REGEN_GOLDEN=1 pytest tests/test_golden_stability.py`` and
+review the diff like any other code change.
+"""
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import run_fixed_load
+from repro.system.presets import gem5_default
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "wiring_stability.json"
+
+# The traced point the golden file was captured from.
+APP, PACKET_SIZE, GBPS, N_PACKETS, SEED = "testpmd", 256, 10.0, 800, 3
+
+
+@pytest.fixture()
+def golden():
+    if not GOLDEN_PATH.exists() and not os.environ.get("REPRO_REGEN_GOLDEN"):
+        pytest.fail(f"golden file {GOLDEN_PATH} missing; generate it with "
+                    "REPRO_REGEN_GOLDEN=1")
+    if GOLDEN_PATH.exists():
+        return json.loads(GOLDEN_PATH.read_text())
+    return None
+
+
+def _run_traced_point(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    monkeypatch.delenv("REPRO_TRACE_PATH", raising=False)
+    config = gem5_default()
+    result = run_fixed_load(config, APP, PACKET_SIZE, GBPS,
+                            n_packets=N_PACKETS, seed=SEED)
+    return config, result
+
+
+def test_wiring_is_behaviour_preserving(monkeypatch, golden):
+    config, result = _run_traced_point(monkeypatch)
+    blob = {
+        "config_stable_hash": config.stable_hash(),
+        "trace_digest": result.trace_digest,
+        "result": dataclasses.asdict(result),
+    }
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.write_text(
+            json.dumps(blob, indent=2, sort_keys=True) + "\n")
+        golden = blob
+    assert blob["config_stable_hash"] == golden["config_stable_hash"], \
+        "SystemConfig.stable_hash() drifted: cached sweep results invalid"
+    assert blob["trace_digest"] == golden["trace_digest"], \
+        "trace digest drifted: the event stream is no longer bit-identical"
+    assert blob["result"] == golden["result"]
+
+
+def test_trace_digest_recorded_in_result(monkeypatch, golden):
+    """The digest in the result record is the one the golden file pins —
+    equal-(config, seed) runs must reproduce it."""
+    assert golden is not None
+    assert golden["result"]["trace_digest"] == golden["trace_digest"]
+    assert len(golden["trace_digest"]) == 64   # SHA-256 hex

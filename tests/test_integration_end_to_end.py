@@ -1,7 +1,5 @@
 """Cross-module integration tests: full node, trace replay, dual mode."""
 
-import pytest
-
 from repro.apps.memcached_dpdk import MemcachedDpdk
 from repro.apps.testpmd import TestPmd as PmdApp  # noqa: N811
 from repro.kvstore.store import KvStore

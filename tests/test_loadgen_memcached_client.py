@@ -38,7 +38,7 @@ class MiniServer:
         _ip, _udp, payload = parse_udp_frame(packet)
         request = decode_request(payload)
         self.requests += 1
-        from repro.kvstore.protocol import GetRequest, SetRequest
+        from repro.kvstore.protocol import GetRequest
         if isinstance(request, GetRequest):
             value, _fp = self.store.get(request.key)
             response = GetResponse(request_id=request.request_id,

@@ -1,7 +1,5 @@
 """Unit tests for the memory hierarchy (inclusion, DCA, DMA paths)."""
 
-import pytest
-
 from repro.mem.cache import CacheConfig
 from repro.mem.dram import DramConfig
 from repro.mem.hierarchy import (

@@ -1,7 +1,5 @@
 """Unit tests for interrupt throttling (the 8254x ITR register)."""
 
-import pytest
-
 from repro.mem.address import AddressSpace
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.xbar import BandwidthServer

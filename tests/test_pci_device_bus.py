@@ -3,7 +3,7 @@
 import pytest
 
 from repro.pci.bus import PciBus
-from repro.pci.config_space import CMD_INTX_DISABLE, COMMAND_OFFSET, PciQuirks
+from repro.pci.config_space import CMD_INTX_DISABLE, COMMAND_OFFSET
 from repro.pci.device import PciDevice
 
 

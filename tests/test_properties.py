@@ -6,7 +6,7 @@ from repro.dpdk.ring import RteRing
 from repro.mem.cache import CacheConfig, SetAssocCache
 from repro.net.headers import build_udp_frame, parse_udp_frame
 from repro.net.packet import MacAddress, Packet
-from repro.nic.drop_fsm import DropCause, DropClassifier
+from repro.nic.drop_fsm import DropClassifier
 from repro.nic.fifo import PacketByteFifo
 from repro.sim.event_queue import Event, EventQueue
 from repro.sim.stats import Distribution, Histogram
