@@ -1,0 +1,66 @@
+"""Acceptance benchmark for shared warm-up checkpoints.
+
+An eight-point single-configuration TestPMD load sweep runs twice:
+once plain (every point simulates its own warm-up) and once with a
+warm-up cache (the first point checkpoints its post-warm-up state, the
+other seven restore it).  The cached sweep must be bit-identical to the
+plain one and at least 1.3x faster wall-clock — the warm-up phase is a
+large, load-independent fraction of every short run, and the subsystem
+exists to stop paying it per point.
+"""
+
+import dataclasses
+import time
+
+from repro.harness.parallel import SweepExecutor, fixed_load_point
+from repro.harness.report import format_table
+from repro.system.presets import gem5_default
+
+SWEEP_RATES = [4.0, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 32.0]
+SPEEDUP_FLOOR = 1.3
+
+
+def _sweep_points():
+    config = gem5_default()
+    return [fixed_load_point(config, "testpmd", 256, rate, n_packets=400)
+            for rate in SWEEP_RATES]
+
+
+def test_warmup_checkpoint_acceptance(benchmark, tmp_path, save_result):
+    points = _sweep_points()
+
+    plain_ex = SweepExecutor(jobs=1)
+    t0 = time.monotonic()
+    plain = plain_ex.run(points)
+    plain_s = time.monotonic() - t0
+
+    cached_ex = SweepExecutor(jobs=1, warmup_cache_dir=tmp_path)
+
+    def cached_run():
+        return cached_ex.run(points)
+
+    t0 = time.monotonic()
+    cached = benchmark.pedantic(cached_run, rounds=1, iterations=1)
+    cached_s = time.monotonic() - t0
+
+    # Correctness bar first: restoring the shared warm-up snapshot must
+    # not change a single measured bit on any point.
+    assert [dataclasses.asdict(r) for r in cached] == \
+        [dataclasses.asdict(r) for r in plain]
+
+    # One snapshot serves the whole sweep: one save, seven restores.
+    snapshots = list(tmp_path.glob("warmup-*.json"))
+    assert len(snapshots) == 1, \
+        f"expected one shared snapshot, found {len(snapshots)}"
+
+    speedup = plain_s / cached_s
+    save_result("warmup_checkpoint", format_table(
+        f"Warm-up checkpoints: {len(points)}-point TestPMD 256B sweep",
+        ["mode", "wall s", "warm-ups simulated"],
+        [["plain", f"{plain_s:.2f}", len(points)],
+         ["warmup cache", f"{cached_s:.2f}", 1],
+         ["speedup", f"{speedup:.2f}x", ""]]))
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"shared warm-up snapshots gave {speedup:.2f}x, "
+        f"acceptance floor is {SPEEDUP_FLOOR}x")

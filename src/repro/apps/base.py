@@ -29,6 +29,7 @@ from repro.kernelstack.driver import InterruptNicDriver
 from repro.kernelstack.stack import KernelStackModel
 from repro.mem.address import AddressSpace
 from repro.net.packet import Packet
+from repro.sim.checkpoint import CheckpointError
 from repro.sim.ports import KIND_APP, RequestPort
 from repro.sim.simobject import SimObject, Simulation
 from repro.sim.ticks import ns_to_ticks
@@ -201,6 +202,38 @@ class DpdkApp(SimObject):
         self.tx_ring_drops = 0
         self.bursts = 0
 
+    # -- checkpoint support ------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        if self._holding:
+            raise CheckpointError(
+                f"{self.name} holds {self._holding} packets mid-burst; "
+                f"checkpoints require a quiescent (drained) node")
+        return {
+            "idle": self._idle,
+            "running": self._running,
+            "packets_processed": self.packets_processed,
+            "packets_forwarded": self.packets_forwarded,
+            "packets_dropped_by_app": self.packets_dropped_by_app,
+            "tx_ring_drops": self.tx_ring_drops,
+            "bursts": self.bursts,
+            "total_processed": self.total_processed,
+            "total_forwarded": self.total_forwarded,
+            "total_absorbed": self.total_absorbed,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        self._idle = state["idle"]
+        self._running = state["running"]
+        self.packets_processed = state["packets_processed"]
+        self.packets_forwarded = state["packets_forwarded"]
+        self.packets_dropped_by_app = state["packets_dropped_by_app"]
+        self.tx_ring_drops = state["tx_ring_drops"]
+        self.bursts = state["bursts"]
+        self.total_processed = state["total_processed"]
+        self.total_forwarded = state["total_forwarded"]
+        self.total_absorbed = state["total_absorbed"]
+
 
 class KernelNetApp(SimObject):
     """Interrupt-driven kernel-stack application (NAPI loop)."""
@@ -299,3 +332,25 @@ class KernelNetApp(SimObject):
         """Clear measurement counters after a stats reset."""
         self.packets_processed = 0
         self.interrupts = 0
+
+    # -- checkpoint support ------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        if self._processing:
+            raise CheckpointError(
+                f"{self.name} has a NAPI poll round in flight; "
+                f"checkpoints require a quiescent (drained) node")
+        return {
+            "processing": self._processing,
+            "packets_processed": self.packets_processed,
+            "interrupts": self.interrupts,
+            "total_processed": self.total_processed,
+            "total_responses": self.total_responses,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        self._processing = state["processing"]
+        self.packets_processed = state["packets_processed"]
+        self.interrupts = state["interrupts"]
+        self.total_processed = state["total_processed"]
+        self.total_responses = state["total_responses"]

@@ -89,3 +89,21 @@ class MemcachedDpdk(DpdkApp):
         # so the load generator can attribute the response.
         response.meta.update(request_packet.meta)
         return response
+
+    def serialize_state(self) -> dict:
+        """The store rides along with the app: it is not a topology
+        component of its own, and its contents (warm keys) are the whole
+        point of a warm-up checkpoint."""
+        state = super().serialize_state()
+        state["requests_served"] = self.requests_served
+        state["parse_errors"] = self.parse_errors
+        state["store"] = self.store.serialize_state()
+        return state
+
+    def deserialize_state(self, state: dict) -> None:
+        super().deserialize_state(state)
+        self.requests_served = state["requests_served"]
+        self.parse_errors = state["parse_errors"]
+        self.store.deserialize_state(state["store"])
+        self._pending_response = None
+        self._pending_footprint = None

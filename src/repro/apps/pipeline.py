@@ -22,6 +22,7 @@ from repro.cpu.kernels import KernelCosts, touch_lines
 from repro.dpdk.pmd import E1000Pmd, RxMbuf
 from repro.dpdk.ring import RteRing
 from repro.mem.address import AddressSpace
+from repro.sim.checkpoint import CheckpointError
 from repro.sim.ports import KIND_APP, RequestPort
 from repro.sim.simobject import SimObject, Simulation
 from repro.sim.ticks import ns_to_ticks
@@ -237,3 +238,41 @@ class PipelineForwarder(SimObject):
         self.packets_forwarded = 0
         self.ring_full_drops = 0
         self.tx_ring_drops = 0
+
+    # -- checkpoint support ------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """Both stages' flags/counters plus the inter-core ring (which
+        enforces its own emptiness — queued frames are live packets)."""
+        if self._holding:
+            raise CheckpointError(
+                f"{self.name} worker holds {self._holding} packets "
+                f"mid-burst; checkpoints require a quiescent node")
+        return {
+            "running": self._running,
+            "rx_idle": self._rx_idle,
+            "worker_idle": self._worker_idle,
+            "packets_received": self.packets_received,
+            "packets_processed": self.packets_processed,
+            "packets_forwarded": self.packets_forwarded,
+            "ring_full_drops": self.ring_full_drops,
+            "tx_ring_drops": self.tx_ring_drops,
+            "total_processed": self.total_processed,
+            "total_forwarded": self.total_forwarded,
+            "total_absorbed": self.total_absorbed,
+            "ring": self.ring.serialize_state(),
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        self._running = state["running"]
+        self._rx_idle = state["rx_idle"]
+        self._worker_idle = state["worker_idle"]
+        self.packets_received = state["packets_received"]
+        self.packets_processed = state["packets_processed"]
+        self.packets_forwarded = state["packets_forwarded"]
+        self.ring_full_drops = state["ring_full_drops"]
+        self.tx_ring_drops = state["tx_ring_drops"]
+        self.total_processed = state["total_processed"]
+        self.total_forwarded = state["total_forwarded"]
+        self.total_absorbed = state["total_absorbed"]
+        self.ring.deserialize_state(state["ring"])

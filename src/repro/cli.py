@@ -9,12 +9,17 @@
 - ``table1``    — print the platform configurations
 - ``apps``      — list the registered applications
 - ``graph``     — emit a node's wiring graph as Graphviz DOT
+- ``checkpoint``— save/restore/info on warm-up checkpoints
 
 Every simulation routes through the parallel sweep executor:
 ``--jobs N`` fans a sweep's points out across N worker processes and
 ``--cache-dir DIR`` replays unchanged points from an on-disk result
 cache (see docs/parallel_sweeps.md).  Results are bit-identical
-regardless of ``--jobs`` and cache state.
+regardless of ``--jobs`` and cache state.  ``--warmup-cache DIR``
+additionally shares warm-up checkpoints between the points of a sweep
+(see docs/checkpointing.md): every point of a single-configuration
+load sweep restores the same post-warm-up snapshot instead of
+re-simulating the warm-up.
 
 Diagnostics (see docs/tracing_and_invariants.md): every run asserts the
 registered conservation invariants at completion; ``--check-invariants
@@ -29,6 +34,11 @@ Examples::
     python -m repro sweep testpmd --size 64 --rates 5,10,15,20 \\
         --jobs 4 --cache-dir ~/.cache/repro-sweeps
     python -m repro memcached --kernel --rps 200000
+    python -m repro sweep testpmd --size 64 --rates 5,10,15,20 \\
+        --warmup-cache /tmp/warm
+    python -m repro checkpoint save testpmd --size 256 -o warm.ckpt
+    python -m repro checkpoint info warm.ckpt
+    python -m repro checkpoint restore warm.ckpt
 """
 
 from __future__ import annotations
@@ -102,7 +112,9 @@ def _report_trace(args, result) -> None:
 
 def _executor_from(args) -> SweepExecutor:
     return SweepExecutor(jobs=getattr(args, "jobs", 1),
-                         cache_dir=getattr(args, "cache_dir", None))
+                         cache_dir=getattr(args, "cache_dir", None),
+                         warmup_cache_dir=getattr(args, "warmup_cache",
+                                                  None))
 
 
 def _report_executor(args, ex: SweepExecutor) -> None:
@@ -210,6 +222,109 @@ def _cmd_graph(args) -> int:
     return 0
 
 
+def _checkpoint_node(config, app: str, seed: int, packet_size: int,
+                     client_options: Optional[dict] = None):
+    """Build a node plus its traffic source exactly as ``checkpoint
+    save`` does, so ``checkpoint restore`` reconstructs the same
+    topology.  Returns ``(node, plan, needs_preload)``."""
+    from repro.harness.runner import (
+        APP_REGISTRY,
+        _fixed_load_plan,
+        _memcached_plan,
+        build_node,
+    )
+    from repro.loadgen.memcached_client import MemcachedClientConfig
+
+    node = build_node(config, app, seed=seed)
+    if app.startswith("memcached"):
+        node.attach_memcached_client(
+            MemcachedClientConfig(**(client_options or {})))
+        return node, _memcached_plan(config), True
+    node.attach_loadgen()
+    echoes = APP_REGISTRY[app][2]
+    return node, _fixed_load_plan(config, packet_size, echoes, None), False
+
+
+def _cmd_checkpoint_save(args) -> int:
+    from dataclasses import asdict
+
+    from repro.loadgen.memcached_client import MemcachedClientConfig
+    from repro.sim.checkpoint import save_checkpoint
+
+    config = _platform(args.platform)
+    node, plan, needs_preload = _checkpoint_node(
+        config, args.app, args.seed, args.size)
+    extra = {
+        "phase": "warmup",
+        "platform": args.platform,
+        "app_name": args.app,
+        "packet_size": args.size,
+    }
+    if needs_preload:
+        node.memcached_client.preload(node.app.store)
+        extra["client"] = asdict(MemcachedClientConfig())
+    node.start()
+    node.warmup_and_reset(plan)
+    document = node.checkpoint(extra_meta=extra)
+    save_checkpoint(document, args.output)
+    print(f"checkpoint written to {args.output} "
+          f"(tick {node.sim.now}, digest {document['digest'][:16]})")
+    return 0
+
+
+def _cmd_checkpoint_info(args) -> int:
+    from repro.sim.checkpoint import CheckpointError, describe, load_checkpoint
+
+    try:
+        document = load_checkpoint(args.file)
+    except CheckpointError as exc:
+        print(f"invalid checkpoint: {exc}", file=sys.stderr)
+        return 1
+    print(describe(document))
+    return 0
+
+
+def _cmd_checkpoint_restore(args) -> int:
+    """Restore a CLI-saved checkpoint into a freshly built node and
+    prove the round trip: re-checkpointing the restored node must
+    reproduce the original digest bit-for-bit."""
+    from repro.sim.checkpoint import CheckpointError, load_checkpoint
+
+    try:
+        document = load_checkpoint(args.file)
+    except CheckpointError as exc:
+        print(f"invalid checkpoint: {exc}", file=sys.stderr)
+        return 1
+    meta = document["meta"]
+    app = meta.get("app_name")
+    platform = meta.get("platform")
+    if not app or not platform:
+        print("checkpoint was not saved by 'checkpoint save' (no "
+              "app_name/platform in meta); cannot rebuild the node",
+              file=sys.stderr)
+        return 1
+    client = meta.get("client")
+    node, _plan, _preload = _checkpoint_node(
+        _platform(platform), app, meta["seed"],
+        meta.get("packet_size", 0), client_options=client)
+    try:
+        node.restore(document)
+    except CheckpointError as exc:
+        print(f"restore failed: {exc}", file=sys.stderr)
+        return 1
+    extra = {k: meta[k] for k in meta
+             if k not in ("label", "app", "seed", "components")}
+    replica = node.checkpoint(extra_meta=extra)
+    if replica["digest"] != document["digest"]:
+        print(f"restore round-trip digest mismatch: "
+              f"{replica['digest']} != {document['digest']}",
+              file=sys.stderr)
+        return 1
+    print(f"restored {app} on {platform} at tick {node.sim.now}; "
+          f"round-trip digest matches ({document['digest'][:16]})")
+    return 0
+
+
 def _cmd_apps(args) -> int:
     for name, (node_class, app_class, echoes) in sorted(
             APP_REGISTRY.items()):
@@ -247,6 +362,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default=os.environ.get("REPRO_CACHE_DIR") or None,
                        help="on-disk result cache; unchanged points "
                             "replay for free (default: REPRO_CACHE_DIR)")
+        p.add_argument("--warmup-cache", dest="warmup_cache",
+                       default=os.environ.get("REPRO_WARMUP_CACHE") or None,
+                       help="shared warm-up checkpoint cache; points "
+                            "differing only in offered load restore one "
+                            "post-warm-up snapshot instead of "
+                            "re-simulating the warm-up (default: "
+                            "REPRO_WARMUP_CACHE)")
         p.add_argument("--check-invariants", dest="check_invariants",
                        choices=("final", "strict", "off"), default=None,
                        help="conservation checking: 'final' asserts at "
@@ -303,6 +425,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_graph.add_argument("-o", "--output", metavar="FILE", default=None,
                          help="write DOT to FILE instead of stdout")
     p_graph.set_defaults(func=_cmd_graph)
+
+    p_ckpt = sub.add_parser(
+        "checkpoint", help="save/restore/info on warm-up checkpoints")
+    ckpt_sub = p_ckpt.add_subparsers(dest="checkpoint_command",
+                                     required=True)
+
+    p_save = ckpt_sub.add_parser(
+        "save", help="warm a node up, drain it, and checkpoint it")
+    p_save.add_argument("app", choices=sorted(APP_REGISTRY))
+    p_save.add_argument("--size", type=int, default=256,
+                        help="frame size for the synthetic warm-up")
+    p_save.add_argument("--platform", default="gem5",
+                        choices=sorted(PLATFORMS))
+    p_save.add_argument("--seed", type=int, default=0)
+    p_save.add_argument("-o", "--output", metavar="FILE", required=True,
+                        help="checkpoint file to write")
+    p_save.set_defaults(func=_cmd_checkpoint_save)
+
+    p_info = ckpt_sub.add_parser(
+        "info", help="verify a checkpoint and summarise its contents")
+    p_info.add_argument("file")
+    p_info.set_defaults(func=_cmd_checkpoint_info)
+
+    p_restore = ckpt_sub.add_parser(
+        "restore",
+        help="restore a saved checkpoint and verify the round trip")
+    p_restore.add_argument("file")
+    p_restore.set_defaults(func=_cmd_checkpoint_restore)
 
     return parser
 

@@ -183,6 +183,24 @@ class CoreModel:
         self.l1_hits = 0
         self.prefetch_covered = 0
 
+    # -- checkpoint support --------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        return {
+            "busy_ns": self.busy_ns,
+            "work_units": self.work_units,
+            "accesses": self.accesses,
+            "l1_hits": self.l1_hits,
+            "prefetch_covered": self.prefetch_covered,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        self.busy_ns = state["busy_ns"]
+        self.work_units = state["work_units"]
+        self.accesses = state["accesses"]
+        self.l1_hits = state["l1_hits"]
+        self.prefetch_covered = state["prefetch_covered"]
+
     def invariant_failures(self):
         """Core accounting sanity; a list of messages, empty when OK.
         All counters here reset together in ``reset_counters`` so their

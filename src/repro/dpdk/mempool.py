@@ -15,6 +15,7 @@ from typing import List, Optional
 from repro.dpdk.hugepages import HugepageAllocator
 from repro.mem.address import Region
 from repro.net.packet import Packet
+from repro.sim.checkpoint import CheckpointError
 from repro.sim.ports import KIND_BUFFER, ResponsePort
 
 MBUF_HEADROOM = 128
@@ -112,6 +113,35 @@ class Mempool:
     def footprint_bytes(self) -> int:
         """Total buffer memory (the upper bound of the working set)."""
         return self.n_mbufs * self.mbuf_size
+
+    # -- checkpoint support --------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """Free-list *order* (the LIFO recycling pattern determines which
+        buffer addresses the restored run touches) plus counters.  An
+        mbuf still out at checkpoint time holds a live packet, so the
+        pool must be idle."""
+        if self.in_use:
+            raise CheckpointError(
+                f"mempool {self.name} has {self.in_use} mbuf(s) in use; "
+                f"checkpoints require a quiescent (drained) node")
+        return {
+            "free_order": [mbuf.index for mbuf in self._free],
+            "gets": self.gets,
+            "puts": self.puts,
+            "high_watermark": self.high_watermark,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        if len(state["free_order"]) != self.n_mbufs:
+            raise CheckpointError(
+                f"mempool {self.name}: population changed "
+                f"({len(state['free_order'])} -> {self.n_mbufs})")
+        by_index = {mbuf.index: mbuf for mbuf in self._free}
+        self._free = [by_index[idx] for idx in state["free_order"]]
+        self.gets = state["gets"]
+        self.puts = state["puts"]
+        self.high_watermark = state["high_watermark"]
 
     def invariant_failures(self, expect_idle: bool = False):
         """Mbuf conservation self-checks; a list of messages, empty when

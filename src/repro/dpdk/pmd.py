@@ -146,3 +146,23 @@ class E1000Pmd:
         """Drop a packet without transmitting (rte_pktmbuf_free)."""
         frame.packet.meta.pop("mbuf", None)
         frame.mbuf.free()
+
+    # -- checkpoint support --------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        return {
+            "rx_bursts": self.rx_bursts,
+            "empty_rx_bursts": self.empty_rx_bursts,
+            "rx_packets": self.rx_packets,
+            "tx_packets": self.tx_packets,
+            "tx_ring_full_events": self.tx_ring_full_events,
+            "harvest_cursor": self._harvest_cursor,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        self.rx_bursts = state["rx_bursts"]
+        self.empty_rx_bursts = state["empty_rx_bursts"]
+        self.rx_packets = state["rx_packets"]
+        self.tx_packets = state["tx_packets"]
+        self.tx_ring_full_events = state["tx_ring_full_events"]
+        self._harvest_cursor = state["harvest_cursor"]

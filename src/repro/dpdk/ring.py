@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.sim.checkpoint import CheckpointError
+
 
 class RteRing:
     """A bounded FIFO with burst operations."""
@@ -87,6 +89,31 @@ class RteRing:
         while self._count and len(out) < max_count:
             out.append(self.dequeue())
         return out
+
+    # -- checkpoint support --------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """Cursors and lifetime counters.  Held items are live packets,
+        so the ring must be empty (its slots are then all None and the
+        cursors alone reproduce the state)."""
+        if self._count:
+            raise CheckpointError(
+                f"rte_ring {self.name} holds {self._count} items; "
+                f"checkpoints require a quiescent (drained) node")
+        return {
+            "head": self._head,
+            "tail": self._tail,
+            "enqueued": self.enqueued,
+            "dequeued": self.dequeued,
+            "enqueue_failures": self.enqueue_failures,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        self._head = state["head"]
+        self._tail = state["tail"]
+        self.enqueued = state["enqueued"]
+        self.dequeued = state["dequeued"]
+        self.enqueue_failures = state["enqueue_failures"]
 
     def invariant_failures(self):
         """Ring conservation self-checks over lifetime counters; a list

@@ -65,6 +65,7 @@ from repro.harness.runner import (
     run_fixed_load,
     run_memcached,
 )
+from repro.harness.warmup_cache import WARMUP_CACHE_ENV
 from repro.sim.invariants import InvariantViolation
 from repro.sim.rng import DeterministicRng
 from repro.system.config import SystemConfig
@@ -74,7 +75,12 @@ from repro.system.config import SystemConfig
 # instead of silently replaying stale results.
 # 2: results gained ``trace_digest`` and runs assert invariants at
 #    completion — a pre-checker cached result is no longer equivalent.
-CACHE_VERSION = 2
+# 3: warm-up methodology changed — runs now warm at a canonical
+#    load-independent rate and drain to full quiescence before the
+#    measurement reset (checkpointable warm-up), and points differing
+#    only in offered load share one RNG stream; all measured results
+#    moved.
+CACHE_VERSION = 3
 
 KIND_FIXED_LOAD = "fixed_load"
 KIND_MEMCACHED = "memcached"
@@ -105,10 +111,17 @@ class SweepPoint:
 
     @property
     def rng_label(self) -> str:
-        """The canonical per-point RNG label (stable across grid edits)."""
+        """The canonical per-point RNG label (stable across grid edits).
+
+        The offered ``load`` is deliberately excluded: points that differ
+        only in load share one RNG stream, so a load sweep over one
+        configuration passes through identical warm-up state and can
+        share a single warm-up checkpoint (see
+        :mod:`repro.harness.warmup_cache`).
+        """
         opts = json.dumps(self.app_options or {}, sort_keys=True)
         return (f"{self.kind}:{self.app}:{self.packet_size}:"
-                f"{self.load!r}:{self.n_packets}:{opts}")
+                f"{self.n_packets}:{opts}")
 
     @property
     def effective_seed(self) -> int:
@@ -424,17 +437,25 @@ class SweepExecutor:
         Per-attempt wall-clock budget for one point in a worker.
     max_retries:
         Extra attempts after the first for crashed or timed-out workers.
+    warmup_cache_dir:
+        Directory for the shared warm-up checkpoint cache (see
+        :mod:`repro.harness.warmup_cache`); ``None`` leaves the
+        ``REPRO_WARMUP_CACHE`` environment as-is.  Exported around each
+        :meth:`run` so both the in-process path and worker processes
+        (which inherit the environment) pick it up.
     """
 
     def __init__(self, jobs: int = 1, cache_dir=None,
                  timeout_s: float = 600.0, max_retries: int = 1,
-                 mp_context=None) -> None:
+                 mp_context=None, warmup_cache_dir=None) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = int(jobs)
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.timeout_s = float(timeout_s)
         self.max_retries = int(max_retries)
+        self.warmup_cache_dir = (str(warmup_cache_dir)
+                                 if warmup_cache_dir else None)
         self._ctx = mp_context or _default_context()
         self.stats = ExecutorStats()
 
@@ -446,6 +467,19 @@ class SweepExecutor:
         Identical points (same cache key, hence provably the same
         deterministic result) are computed once and shared.
         """
+        if self.warmup_cache_dir is None:
+            return self._run(points)
+        previous = os.environ.get(WARMUP_CACHE_ENV)
+        os.environ[WARMUP_CACHE_ENV] = self.warmup_cache_dir
+        try:
+            return self._run(points)
+        finally:
+            if previous is None:
+                os.environ.pop(WARMUP_CACHE_ENV, None)
+            else:
+                os.environ[WARMUP_CACHE_ENV] = previous
+
+    def _run(self, points: Sequence[SweepPoint]) -> List[Any]:
         t0 = time.monotonic()
         points = list(points)
         results: List[Optional[dict]] = [None] * len(points)
@@ -620,9 +654,10 @@ class SweepExecutor:
 
 
 def run_points(points: Sequence[SweepPoint], jobs: int = 1,
-               cache_dir=None,
+               cache_dir=None, warmup_cache_dir=None,
                executor: Optional[SweepExecutor] = None) -> List[Any]:
     """Convenience wrapper: run points through ``executor`` or a fresh
-    one built from ``jobs``/``cache_dir``."""
-    ex = executor or SweepExecutor(jobs=jobs, cache_dir=cache_dir)
+    one built from ``jobs``/``cache_dir``/``warmup_cache_dir``."""
+    ex = executor or SweepExecutor(jobs=jobs, cache_dir=cache_dir,
+                                   warmup_cache_dir=warmup_cache_dir)
     return ex.run(points)

@@ -19,6 +19,11 @@ from repro.apps.rxptx import RxPTx
 from repro.apps.testpmd import TestPmd
 from repro.apps.touchdrop import TouchDrop
 from repro.apps.touchfwd import TouchFwd
+from repro.harness.warmup_cache import (
+    WarmupCache,
+    warmup_cache_from_env,
+    warmup_key,
+)
 from repro.kvstore.store import KvStore
 from repro.loadgen.ether_load_gen import (
     SyntheticConfig,
@@ -26,9 +31,10 @@ from repro.loadgen.ether_load_gen import (
     pps_for_gbps,
 )
 from repro.loadgen.memcached_client import MemcachedClientConfig
+from repro.sim.checkpoint import CheckpointError
 from repro.sim.invariants import InvariantViolation
 from repro.system.config import SystemConfig
-from repro.system.node import DpdkNode, KernelNode
+from repro.system.node import DpdkNode, KernelNode, WarmupPlan
 
 # app name -> (node class, app class, echoes responses)
 APP_REGISTRY: Dict[str, Tuple[type, type, bool]] = {
@@ -171,49 +177,103 @@ def _effective_rate(config: SystemConfig, gbps: float,
     return gbps_for_pps(pps, packet_size)
 
 
+#: The canonical warm-up rate (Gbps, before the software-loadgen clamp).
+#: Deliberately independent of the measured offered load so every point
+#: of a load sweep shares one post-warm-up machine state — the property
+#: the warm-up checkpoint cache is built on.
+CANONICAL_WARM_GBPS = 8.0
+
+
+def _fixed_load_plan(config: SystemConfig, packet_size: int, echoes: bool,
+                     warmup_us: Optional[float]) -> WarmupPlan:
+    """The load-independent warm-up plan for a fixed-rate run."""
+    return WarmupPlan(
+        min_warm_us=max(warmup_us if warmup_us is not None
+                        else config.warmup_us,
+                        config.link_delay_us + 100.0),
+        warm_packet_target=500,
+        packet_size=packet_size,
+        warm_rate_gbps=_effective_rate(config, CANONICAL_WARM_GBPS,
+                                       packet_size),
+        expect_responses=echoes,
+    )
+
+
 def run_fixed_load(config: SystemConfig, app_name: str, packet_size: int,
                    gbps: float, n_packets: int = 2000,
                    app_options: Optional[dict] = None,
                    warmup_us: Optional[float] = None,
-                   seed: int = 0) -> FixedLoadResult:
-    """Load the node at a fixed rate and measure drops/latency."""
+                   seed: int = 0,
+                   warmup_cache: Optional[WarmupCache] = None
+                   ) -> FixedLoadResult:
+    """Load the node at a fixed rate and measure drops/latency.
+
+    Warm-up runs at the canonical (load-independent) rate, drains to
+    quiescence, and resets statistics; with ``warmup_cache`` (or the
+    ``REPRO_WARMUP_CACHE`` environment variable) set, that post-warm-up
+    state is checkpointed once and restored on every later run with the
+    same key — bit-identical to warming up from scratch.
+    """
     node = build_node(config, app_name, app_options, seed=seed)
     loadgen = node.attach_loadgen()
     _node_class, _app_class, echoes = APP_REGISTRY[app_name]
     effective_gbps = _effective_rate(config, gbps, packet_size)
-    node.start()
+    plan = _fixed_load_plan(config, packet_size, echoes, warmup_us)
+    cache = warmup_cache if warmup_cache is not None \
+        else warmup_cache_from_env()
+    key = None
+    restored = False
+    if cache is not None:
+        key = warmup_key(config, app_name, packet_size, app_options, plan,
+                         seed, node.sim.tracer._options_signature())
+        snapshot = cache.get(key)
+        if snapshot is not None:
+            try:
+                node.restore(snapshot)
+                restored = True
+            except CheckpointError:
+                # Schema drift that survived the digest check (a snapshot
+                # from a different code version): drop it and warm up from
+                # scratch on a rebuilt node (restore may have partially
+                # mutated this one).
+                cache.discard(key)
+                node = build_node(config, app_name, app_options, seed=seed)
+                loadgen = node.attach_loadgen()
+    if not restored:
+        node.start()
+        node.warmup_and_reset(plan)
+        if cache is not None:
+            cache.put(key, node.checkpoint(
+                extra_meta={"phase": "warmup", "packet_size": packet_size}))
+
+    # Measured phase — identical code whether the warm-up was simulated
+    # or restored from a checkpoint.
     loadgen.start_synthetic(SyntheticConfig(
         packet_size=packet_size,
         rate_gbps=effective_gbps,
         count=None,
         expect_responses=echoes,
     ))
-    # Warm up under load until the node's caches have cycled their working
-    # sets (a packet-count criterion: slow kernel-stack apps need far more
-    # simulated time than fast DPDK apps), then reset statistics (the gem5
-    # methodology of §VI.A).
-    min_warm = max(warmup_us if warmup_us is not None
-                   else config.warmup_us, config.link_delay_us + 100.0)
-    warm_target = 500
-    node.run_us(min_warm)
-    for _ in range(60):
-        if node.app.packets_processed >= warm_target:
-            break
-        node.run_us(200.0)
-    node.reset_measurement()
-
     # Measured window: enough sends for n_packets AND enough processed
-    # packets for a stable steady-state service-rate estimate.
+    # packets for a stable steady-state service-rate estimate.  The
+    # measurement starts from quiescence, so the service-rate clock only
+    # starts once the pipeline has ramped — the first packet needs a
+    # link flight to even reach the node, and under overload the rings
+    # must fill before the app runs back-to-back; counting that dead
+    # time would underestimate the node's capacity.
     pps = pps_for_gbps(effective_gbps, packet_size)
     window_us = max(n_packets / pps * 1e6, 300.0)
+    ramp_us = config.link_delay_us + 50.0
+    node.run_us(ramp_us)
+    service_base = node.app.packets_processed
     node.run_us(window_us)
     min_processed = 400
     for _ in range(80):
-        if node.app.packets_processed >= min_processed:
+        if node.app.packets_processed - service_base >= min_processed:
             break
         node.run_us(250.0)
         window_us += 250.0
-    processed_in_window = node.app.packets_processed
+    processed_in_window = node.app.packets_processed - service_base
     service_gbps = (processed_in_window / (window_us * 1e-6)
                     * packet_size * 8 / 1e9)
     loadgen.stop()
@@ -294,36 +354,86 @@ class MemcachedRunResult:
         return cls(**data)
 
 
+#: Canonical memcached warm-up: a fixed comfortable request rate,
+#: independent of the measured offered rate (see CANONICAL_WARM_GBPS).
+CANONICAL_WARM_REQUESTS = 400
+CANONICAL_WARM_RPS = 120_000.0
+
+
+def _memcached_plan(config: SystemConfig) -> WarmupPlan:
+    """The load-independent warm-up plan for a memcached run."""
+    return WarmupPlan(
+        min_warm_us=(CANONICAL_WARM_REQUESTS / CANONICAL_WARM_RPS * 1e6
+                     + 500.0),
+        warm_packet_target=CANONICAL_WARM_REQUESTS,
+        warm_requests=CANONICAL_WARM_REQUESTS,
+        warm_rate_rps=CANONICAL_WARM_RPS,
+    )
+
+
 def run_memcached(config: SystemConfig, kernel: bool, rate_rps: float,
                   n_requests: int = 4000,
                   client_config: Optional[MemcachedClientConfig] = None,
-                  seed: int = 0) -> MemcachedRunResult:
+                  seed: int = 0,
+                  warmup_cache: Optional[WarmupCache] = None
+                  ) -> MemcachedRunResult:
     """Load a memcached server (kernel or DPDK) at a fixed request rate."""
     app_name = "memcached_kernel" if kernel else "memcached_dpdk"
-    node = build_node(config, app_name, seed=seed)
     base = client_config or MemcachedClientConfig()
-    cfg = MemcachedClientConfig(
-        n_warm_keys=base.n_warm_keys,
-        n_requests=n_requests,
-        get_fraction=base.get_fraction,
-        size_min=base.size_min,
-        size_max=base.size_max,
-        size_skew=base.size_skew,
-        rate_rps=rate_rps,
-        distribution=base.distribution,
-    )
-    client = node.attach_memcached_client(cfg)
-    client.preload(node.app.store)   # functional warm-up (5000 keys)
-    node.start()
-    # Packet-driven warm-up: bring caches/BTB-analogue state to steady
-    # state at a comfortable rate before measuring (paper §VI.A).
-    warm_requests = 400
-    warm_rate = min(rate_rps, 120_000.0)
-    client.run_warmup(warm_requests, warm_rate)
-    node.run_us(warm_requests / warm_rate * 1e6
-                + 2 * config.link_delay_us + 500.0)
-    node.reset_measurement()
-    client.reset_measurements()
+
+    def make_client_config() -> MemcachedClientConfig:
+        return MemcachedClientConfig(
+            n_warm_keys=base.n_warm_keys,
+            n_requests=n_requests,
+            get_fraction=base.get_fraction,
+            size_min=base.size_min,
+            size_max=base.size_max,
+            size_skew=base.size_skew,
+            rate_rps=rate_rps,
+            distribution=base.distribution,
+        )
+
+    node = build_node(config, app_name, seed=seed)
+    client = node.attach_memcached_client(make_client_config())
+    plan = _memcached_plan(config)
+    # Only the warm-relevant client parameters key the snapshot: the
+    # measured rate and request count start after the checkpoint moment.
+    warm_options = {"client": {
+        "n_warm_keys": base.n_warm_keys,
+        "get_fraction": base.get_fraction,
+        "size_min": base.size_min,
+        "size_max": base.size_max,
+        "size_skew": base.size_skew,
+        "distribution": base.distribution,
+    }}
+    cache = warmup_cache if warmup_cache is not None \
+        else warmup_cache_from_env()
+    key = None
+    restored = False
+    if cache is not None:
+        key = warmup_key(config, app_name, 0, warm_options, plan, seed,
+                         node.sim.tracer._options_signature())
+        snapshot = cache.get(key)
+        if snapshot is not None:
+            try:
+                node.restore(snapshot)
+                restored = True
+            except CheckpointError:
+                cache.discard(key)
+                node = build_node(config, app_name, seed=seed)
+                client = node.attach_memcached_client(make_client_config())
+    if not restored:
+        client.preload(node.app.store)   # functional warm-up (5000 keys)
+        node.start()
+        # Packet-driven warm-up: bring caches/BTB-analogue state to steady
+        # state at a comfortable rate before measuring (paper §VI.A).
+        node.warmup_and_reset(plan)
+        if cache is not None:
+            cache.put(key, node.checkpoint(
+                extra_meta={"phase": "warmup", "kernel": kernel}))
+
+    # Measured phase — identical code whether the warm-up was simulated
+    # or restored from a checkpoint.
     client.start()
     # Run to completion of the request phase, then drain the backlog.
     duration_us = n_requests / rate_rps * 1e6

@@ -1,0 +1,140 @@
+"""On-disk warm-up checkpoint cache for sweeps.
+
+The paper's methodology warms every simulation up under load before the
+measured window (§VI.A) — and a sweep re-pays that warm-up at every
+point.  But the harness warms up at a *canonical, load-independent* rate
+and drains to quiescence before resetting statistics, so every point of
+a single-configuration load sweep passes through byte-identical post-
+warm-up machine state.  This cache stores that state once, as a sealed
+:mod:`repro.sim.checkpoint` document, and every subsequent point
+restores it instead of re-simulating the warm-up.
+
+Keying: a SHA-256 digest over everything the post-warm-up state depends
+on — the result-cache schema version, the checkpoint format, the full
+canonical :class:`~repro.system.config.SystemConfig`, the application
+and its options, the packet size, the :class:`~repro.system.node.WarmupPlan`,
+the *effective* seed, and the tracer configuration.  The offered load is
+deliberately absent: that is the whole point.
+
+Failure policy mirrors :class:`repro.harness.parallel.ResultCache`: any
+unreadable, version-mismatched, or digest-mismatched entry counts as
+corrupt, is deleted, and the warm-up is re-simulated — a damaged cache
+can slow a sweep down but never change its results.  Writes are atomic
+(temp file + ``os.replace``), so sweep workers racing to produce the
+same snapshot never leave a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.sim.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.system.config import SystemConfig
+from repro.system.node import WarmupPlan
+
+#: Environment variable through which sweep workers (and the CLI's
+#: ``--warmup-cache`` flag) point runs at a shared cache directory.
+WARMUP_CACHE_ENV = "REPRO_WARMUP_CACHE"
+
+#: Version of the warm-up *keying* scheme (what state a key promises to
+#: describe).  Bump together with methodology changes so stale snapshots
+#: miss instead of silently seeding a run with different machine state.
+WARMUP_KEY_VERSION = 1
+
+
+def warmup_key(config: SystemConfig, app: str, packet_size: int,
+               app_options: Optional[Dict[str, Any]], plan: WarmupPlan,
+               seed: int, tracer_signature: Dict[str, Any]) -> str:
+    """Stable digest of everything the post-warm-up state depends on."""
+    options = {k: v for k, v in (app_options or {}).items()
+               if k != "store"}   # the store is node-internal state
+    payload = {
+        "key_version": WARMUP_KEY_VERSION,
+        "checkpoint_format": CHECKPOINT_FORMAT,
+        "config": config.canonical_dict(),
+        "app": app,
+        "packet_size": packet_size,
+        "app_options": options,
+        "plan": asdict(plan),
+        "seed": seed,
+        "tracer": tracer_signature,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class WarmupCache:
+    """One sealed checkpoint file per warm-up state, named by its key."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.saves = 0
+        self.corrupt_entries = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"warmup-{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored checkpoint document, or None on miss.
+
+        A corrupt entry (unreadable file, schema drift, digest mismatch)
+        is deleted and reported as a miss, so the caller falls back to
+        simulating the warm-up and then overwrites the entry.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            document = load_checkpoint(str(path))
+        except CheckpointError:
+            self.corrupt_entries += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return document
+
+    def put(self, key: str, document: dict) -> None:
+        """Atomically store one sealed checkpoint."""
+        save_checkpoint(document, str(self.path_for(key)))
+        self.saves += 1
+
+    def discard(self, key: str) -> None:
+        """Drop an entry that failed to restore (schema drift survives
+        the digest check when the writer was a different code version)."""
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            pass
+
+
+def warmup_cache_from_env() -> Optional[WarmupCache]:
+    """The cache named by ``REPRO_WARMUP_CACHE``, or None when unset.
+
+    This is how sweep worker processes find the shared cache: the
+    executor/CLI exports the variable and every
+    :func:`repro.harness.runner.run_fixed_load` /
+    :func:`~repro.harness.runner.run_memcached` call picks it up.
+    """
+    root = os.environ.get(WARMUP_CACHE_ENV)
+    if not root:
+        return None
+    return WarmupCache(root)

@@ -80,3 +80,11 @@ class InterruptNicDriver:
     def irq_enable(self) -> None:
         """Unmask RX interrupts (NAPI poll round finished)."""
         self.nic.write_reg(REG_IMS, ICR_RXT0)
+
+    # -- checkpoint support ------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        return {"interrupts_taken": self.interrupts_taken}
+
+    def deserialize_state(self, state: dict) -> None:
+        self.interrupts_taken = state["interrupts_taken"]

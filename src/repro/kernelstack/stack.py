@@ -92,6 +92,22 @@ class KernelStackModel:
         self._user_cursor += nbytes
         return addr
 
+    # -- checkpoint support ------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        return {
+            "skb_cursor": self._skb_cursor,
+            "text_cursor": self._text_cursor,
+            "user_cursor": self._user_cursor,
+            "skb_allocs": self.skb_allocs,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        self._skb_cursor = state["skb_cursor"]
+        self._text_cursor = state["text_cursor"]
+        self._user_cursor = state["user_cursor"]
+        self.skb_allocs = state["skb_allocs"]
+
     # -- work builders ----------------------------------------------------------
 
     def rx_work(self, skb_addr: int, payload_bytes: int,

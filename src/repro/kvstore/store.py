@@ -114,6 +114,43 @@ class KvStore:
     def _entry_addr_for(self, entry: _Entry) -> int:
         return entry.entry_addr
 
+    # -- checkpoint support ------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """The full table (keys hex-encoded; values are synthetic so only
+        their length/address matter), allocator cursors, and counters."""
+        return {
+            "table": {str(index): [[entry.key.hex(), entry.value_addr,
+                                    entry.value_len, entry.chain_depth,
+                                    entry.entry_addr]
+                                   for entry in chain]
+                      for index, chain in self._table.items()},
+            "entry_cursor": self._entry_cursor,
+            "value_cursor": self._value_cursor,
+            "gets": self.gets,
+            "sets": self.sets,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        self._table = {
+            int(index): [_Entry(key=bytes.fromhex(key_hex),
+                                value_addr=value_addr,
+                                value_len=value_len,
+                                chain_depth=chain_depth,
+                                entry_addr=entry_addr)
+                         for key_hex, value_addr, value_len, chain_depth,
+                         entry_addr in chain]
+            for index, chain in state["table"].items()
+        }
+        self._entry_cursor = state["entry_cursor"]
+        self._value_cursor = state["value_cursor"]
+        self.gets = state["gets"]
+        self.sets = state["sets"]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+
     def get(self, key: bytes) -> Tuple[Optional[bytes], LookupFootprint]:
         """Look up; returns (value-or-None, footprint)."""
         self.gets += 1

@@ -43,3 +43,15 @@ class LatencyTracker:
         """Reset to the initial (empty) state."""
         self.rtt_us.reset()
         self.histogram.reset()
+
+    # -- checkpoint support ------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        return {
+            "rtt_us": self.rtt_us.serialize_state(),
+            "histogram": self.histogram.serialize_state(),
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        self.rtt_us.deserialize_state(state["rtt_us"])
+        self.histogram.deserialize_state(state["histogram"])

@@ -187,6 +187,38 @@ class SetAssocCache:
             total += sum(len(s) for s in self._io_sets)
         return total
 
+    # -- checkpoint support --------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """Tags per set in LRU order (oldest first) plus counters; the
+        insertion order of the dicts *is* the replacement state, so a
+        faithful restore just re-inserts in the same order."""
+        return {
+            "core_sets": [list(cset) for cset in self._core_sets],
+            "io_sets": ([list(ioset) for ioset in self._io_sets]
+                        if self._io_sets is not None else None),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        if len(state["core_sets"]) != self._num_sets:
+            raise ValueError(
+                f"{self.name}: set count changed "
+                f"({len(state['core_sets'])} -> {self._num_sets})")
+        if (state["io_sets"] is None) != (self._io_sets is None):
+            raise ValueError(
+                f"{self.name}: DCA partitioning changed across checkpoint")
+        self._core_sets = [{tag: None for tag in tags}
+                           for tags in state["core_sets"]]
+        if self._io_sets is not None:
+            self._io_sets = [{tag: None for tag in tags}
+                             for tags in state["io_sets"]]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self.evictions = state["evictions"]
+
     def __repr__(self) -> str:
         cfg = self.config
         return (f"<SetAssocCache {cfg.name} {cfg.size // 1024}KiB "

@@ -116,3 +116,29 @@ class DramModel:
         self.reads = 0
         self.writes = 0
         self.busy_ns = 0.0
+
+    # -- checkpoint support --------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        return {
+            "open_rows": [list(banks) for banks in self._open_rows],
+            "channel_free_at": list(self._channel_free_at),
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "reads": self.reads,
+            "writes": self.writes,
+            "busy_ns": self.busy_ns,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        if len(state["open_rows"]) != self.config.channels:
+            raise ValueError(
+                f"{self.name}: channel count changed "
+                f"({len(state['open_rows'])} -> {self.config.channels})")
+        self._open_rows = [list(banks) for banks in state["open_rows"]]
+        self._channel_free_at = [float(t) for t in state["channel_free_at"]]
+        self.row_hits = state["row_hits"]
+        self.row_misses = state["row_misses"]
+        self.reads = state["reads"]
+        self.writes = state["writes"]
+        self.busy_ns = state["busy_ns"]

@@ -198,6 +198,34 @@ class MemoryHierarchy:
         self.dma_llc_hits = 0
         self.dma_leaked_lines = 0
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        return {
+            "l1i": self.l1i.serialize_state(),
+            "l1d": self.l1d.serialize_state(),
+            "l2": self.l2.serialize_state(),
+            "llc": self.llc.serialize_state(),
+            "dram": self.dram.serialize_state(),
+            "dma_lines_written": self.dma_lines_written,
+            "dma_lines_read": self.dma_lines_read,
+            "dma_llc_hits": self.dma_llc_hits,
+            "dma_leaked_lines": self.dma_leaked_lines,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        self.l1i.deserialize_state(state["l1i"])
+        self.l1d.deserialize_state(state["l1d"])
+        self.l2.deserialize_state(state["l2"])
+        self.llc.deserialize_state(state["llc"])
+        self.dram.deserialize_state(state["dram"])
+        self.dma_lines_written = state["dma_lines_written"]
+        self.dma_lines_read = state["dma_lines_read"]
+        self.dma_llc_hits = state["dma_llc_hits"]
+        self.dma_leaked_lines = state["dma_leaked_lines"]
+
     def invariant_failures(self):
         """DMA-side accounting sanity; a list of messages, empty when OK.
         These counters all reset together in ``reset_counters`` so their

@@ -75,6 +75,17 @@ class BandwidthServer:
         self.bytes_moved = 0
         self.transfers = 0
 
+    # -- checkpoint support --------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        return {"free_at": self._free_at, "bytes_moved": self.bytes_moved,
+                "transfers": self.transfers}
+
+    def deserialize_state(self, state: dict) -> None:
+        self._free_at = state["free_at"]
+        self.bytes_moved = state["bytes_moved"]
+        self.transfers = state["transfers"]
+
     def __repr__(self) -> str:
         gbps = self.bytes_per_sec * 8 / 1e9
         return f"<BandwidthServer {self.name} {gbps:.1f}Gbps>"

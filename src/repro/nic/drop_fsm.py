@@ -84,3 +84,22 @@ class DropClassifier:
         """Reset to the initial (empty) state."""
         self.counts = {cause: 0 for cause in DropCause}
         self.transitions = 0
+
+    # -- checkpoint support --------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """The FSM position survives a stats reset, so it must survive a
+        checkpoint too."""
+        return {
+            "state": list(self.state),
+            "counts": {cause.value: self.counts[cause]
+                       for cause in DropCause},
+            "transitions": self.transitions,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        fifo_full, rx_full, tx_full = state["state"]
+        self.state = (bool(fifo_full), bool(rx_full), bool(tx_full))
+        self.counts = {cause: state["counts"][cause.value]
+                       for cause in DropCause}
+        self.transitions = state["transitions"]

@@ -12,6 +12,7 @@ from collections import deque
 from typing import Deque, Optional
 
 from repro.net.packet import Packet
+from repro.sim.checkpoint import CheckpointError
 
 
 class PacketByteFifo:
@@ -90,6 +91,23 @@ class PacketByteFifo:
         self.dequeued += len(self._queue)
         self._queue.clear()
         self._bytes = 0
+
+    # -- checkpoint support --------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """Lifetime counters only; packets in flight cannot be serialized,
+        so a non-empty FIFO means the node was not drained first."""
+        if self._queue:
+            raise CheckpointError(
+                f"FIFO {self.name} holds {len(self._queue)} packets; "
+                f"checkpoints require a quiescent (drained) node")
+        return {"enqueued": self.enqueued, "dequeued": self.dequeued,
+                "rejected": self.rejected}
+
+    def deserialize_state(self, state: dict) -> None:
+        self.enqueued = state["enqueued"]
+        self.dequeued = state["dequeued"]
+        self.rejected = state["rejected"]
 
     def invariant_failures(self):
         """Conservation self-checks; a list of messages, empty when OK.

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.net.packet import Packet
+from repro.sim.checkpoint import CheckpointError
 from repro.sim.ports import PacketPort
 from repro.sim.simobject import SimObject, Simulation
 
@@ -169,3 +170,26 @@ class EtherLink(SimObject):
 
         self.sim.events.call_at(deliver_at, _deliver,
                                 name=f"{self.name}.deliver")
+
+    # -- checkpoint support --------------------------------------------------
+
+    def serialize_state(self) -> dict:
+        """Busy horizons and lifetime frame counters; frames still on the
+        wire would need their payloads serialized, so quiescence first."""
+        if any(self._in_flight.values()):
+            raise CheckpointError(
+                f"link {self.name} has frames in flight "
+                f"({self._in_flight}); checkpoints require a quiescent "
+                f"(drained) node")
+        return {
+            "tx_free_at": dict(self._tx_free_at),
+            "sent": dict(self._sent),
+            "delivered": dict(self._delivered),
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        self._tx_free_at = {"a": state["tx_free_at"]["a"],
+                            "b": state["tx_free_at"]["b"]}
+        self._sent = {"a": state["sent"]["a"], "b": state["sent"]["b"]}
+        self._delivered = {"a": state["delivered"]["a"],
+                           "b": state["delivered"]["b"]}

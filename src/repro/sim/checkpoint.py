@@ -1,0 +1,158 @@
+"""Versioned, schema-checked simulation checkpoints.
+
+The checkpoint subsystem follows gem5's drain-then-serialize discipline:
+a checkpoint is taken only at *quiescence* — no frames on the wire, no
+DMA in flight, no packets held by FIFOs, rings, or applications — so no
+in-flight :class:`~repro.net.packet.Packet` payload ever needs to be
+serialized.  What remains is plain counter/cursor state per SimObject,
+the event queue's pending (named) events, the RNG streams, the stats
+registry, and the tracer — all JSON-representable.
+
+Format
+------
+A checkpoint is a single JSON document::
+
+    {
+      "format": 1,
+      "meta":    {...},          # app/config/seed provenance (free-form)
+      "sim":     {...},          # event queue, rng, stats, tracer
+      "objects": {label: state}, # one entry per topology component
+      "digest":  "sha256..."     # over the canonical JSON minus "digest"
+    }
+
+The digest makes corruption and tampering detectable: :func:`verify`
+recomputes it and raises :class:`CheckpointError` on mismatch.  Every
+value is produced by ``serialize_state()`` on the owning component and
+consumed by ``deserialize_state()`` — the :class:`Serializable`
+protocol that :class:`repro.system.topology.Topology` enforces at
+registration time, so an unserializable component is a build-time
+error rather than a silent checkpoint gap.
+
+Determinism: checkpoints contain no wall-clock timestamps and are
+written with sorted keys, so the same simulation state always produces
+the same bytes (and the same digest).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict
+
+#: Version of the on-disk checkpoint schema.  Bump when the layout of
+#: the document (or any component's state dict) changes incompatibly.
+CHECKPOINT_FORMAT = 1
+
+#: Top-level keys every checkpoint document must carry.
+_REQUIRED_KEYS = ("format", "meta", "sim", "objects", "digest")
+
+
+class CheckpointError(Exception):
+    """A checkpoint could not be taken, verified, or restored."""
+
+
+def is_serializable(component: Any) -> bool:
+    """True if ``component`` implements the Serializable protocol."""
+    return (callable(getattr(component, "serialize_state", None))
+            and callable(getattr(component, "deserialize_state", None)))
+
+
+def assert_serializable(label: str, component: Any) -> None:
+    """Raise :class:`CheckpointError` unless ``component`` implements
+    ``serialize_state()`` / ``deserialize_state()``."""
+    if not is_serializable(component):
+        raise CheckpointError(
+            f"component {label!r} ({type(component).__name__}) does not "
+            f"implement serialize_state()/deserialize_state(); every "
+            f"topology component must be checkpointable")
+
+
+def canonical_json(document: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace drift."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def compute_digest(document: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of ``document`` minus ``digest``."""
+    body = {k: v for k, v in document.items() if k != "digest"}
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+
+
+def seal(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Stamp ``format`` and ``digest`` onto a checkpoint document."""
+    document["format"] = CHECKPOINT_FORMAT
+    document["digest"] = compute_digest(document)
+    return document
+
+
+def verify(document: Any) -> Dict[str, Any]:
+    """Validate a checkpoint document's schema, version, and digest.
+
+    Returns the document on success; raises :class:`CheckpointError`
+    describing the first problem found otherwise.
+    """
+    if not isinstance(document, dict):
+        raise CheckpointError(
+            f"checkpoint must be a JSON object, got {type(document).__name__}")
+    for key in _REQUIRED_KEYS:
+        if key not in document:
+            raise CheckpointError(f"checkpoint missing required key {key!r}")
+    fmt = document["format"]
+    if fmt != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"checkpoint format {fmt!r} not supported "
+            f"(this build reads format {CHECKPOINT_FORMAT})")
+    if not isinstance(document["objects"], dict):
+        raise CheckpointError("checkpoint 'objects' must be an object")
+    if not isinstance(document["sim"], dict):
+        raise CheckpointError("checkpoint 'sim' must be an object")
+    expected = compute_digest(document)
+    if document["digest"] != expected:
+        raise CheckpointError(
+            f"checkpoint digest mismatch: recorded {document['digest']!r}, "
+            f"recomputed {expected!r} (corrupted or tampered)")
+    return document
+
+
+def save_checkpoint(document: Dict[str, Any], path: str) -> None:
+    """Write a sealed checkpoint to ``path`` atomically.
+
+    The write goes to a same-directory temp file and is published with
+    ``os.replace`` so concurrent writers (sweep workers racing to
+    produce the same warmup snapshot) can never leave a torn file.
+    """
+    if "digest" not in document:
+        seal(document)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(canonical_json(document))
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> Dict[str, Any]:
+    """Read, parse, and :func:`verify` the checkpoint at ``path``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    return verify(document)
+
+
+def describe(document: Dict[str, Any]) -> str:
+    """Human-readable one-screen summary for ``checkpoint info``."""
+    meta = document.get("meta", {})
+    queue = document.get("sim", {}).get("events", {})
+    lines = [
+        f"format:  {document.get('format')}",
+        f"digest:  {document.get('digest')}",
+        f"tick:    {queue.get('now')}",
+        f"events:  {len(queue.get('events', []))} pending",
+        f"objects: {len(document.get('objects', {}))}",
+    ]
+    for key in sorted(meta):
+        lines.append(f"meta.{key}: {meta[key]}")
+    return "\n".join(lines)

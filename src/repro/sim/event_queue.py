@@ -9,7 +9,9 @@ guarantees and that reproducible experiments depend on.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.checkpoint import CheckpointError
 
 
 class Event:
@@ -183,3 +185,61 @@ class EventQueue:
         if until is not None and self._now < until and not self._heap:
             self._now = until
         return self._now
+
+    # -- checkpoint support ----------------------------------------------
+
+    def live_events(self) -> List[Event]:
+        """Live (scheduled) events in firing order."""
+        entries = [entry for entry in self._heap
+                   if entry[3]._scheduled and entry[4] == entry[3]._gen]
+        return [entry[3] for entry in sorted(entries)]
+
+    def serialize_state(self, names_by_event: Dict[int, str]) -> dict:
+        """Snapshot the queue: clock, counters, and pending events by name.
+
+        ``names_by_event`` maps ``id(event)`` to the registry name the
+        restoring side will use to find the callback again.  A pending
+        event absent from the map — a one-shot ``call_after`` closure —
+        cannot be re-bound after restore, so it is a checkpoint error:
+        the simulation has not been drained to a checkpointable point.
+        """
+        events = []
+        for event in self.live_events():
+            name = names_by_event.get(id(event))
+            if name is None:
+                raise CheckpointError(
+                    f"pending event {event!r} is not in the named-event "
+                    f"registry; drain the simulation to quiescence before "
+                    f"checkpointing")
+            events.append({"name": name, "when": event._when,
+                           "priority": event.priority})
+        return {"now": self._now, "seq": self._seq, "fired": self._fired,
+                "events": events}
+
+    def deserialize_state(self, state: dict,
+                          events_by_name: Dict[str, Event]) -> None:
+        """Rebuild a snapshot into this (freshly constructed, empty) queue.
+
+        Events are re-scheduled in snapshot order — which is firing order,
+        so relative tie-breaks among restored events are preserved — and
+        the sequence counter is then advanced past its checkpointed value
+        so events scheduled after restore sort behind restored ones.
+        """
+        if self._heap or self._now or self._seq:
+            raise CheckpointError(
+                "event queue restore requires a fresh (empty) queue")
+        self._now = state["now"]
+        for entry in state["events"]:
+            event = events_by_name.get(entry["name"])
+            if event is None:
+                raise CheckpointError(
+                    f"checkpoint references unknown event "
+                    f"{entry['name']!r}; was the node built with the "
+                    f"same configuration?")
+            if event.priority != entry["priority"]:
+                raise CheckpointError(
+                    f"event {entry['name']!r} priority changed "
+                    f"({entry['priority']} -> {event.priority})")
+            self.schedule(event, entry["when"])
+        self._seq = max(self._seq, state["seq"])
+        self._fired = state["fired"]

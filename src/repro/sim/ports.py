@@ -276,6 +276,13 @@ class ClockDomain:
         """Current simulated tick (picoseconds)."""
         return self.sim.now
 
+    def serialize_state(self) -> dict:
+        """Stateless: a clock domain reads time from the simulation."""
+        return {}
+
+    def deserialize_state(self, state: dict) -> None:
+        pass
+
     def __repr__(self) -> str:
         return f"<ClockDomain {self.name}>"
 

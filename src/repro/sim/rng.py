@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
 
 class DeterministicRng:
@@ -19,12 +19,18 @@ class DeterministicRng:
 
     Child generators (``fork``) are derived deterministically from the parent
     seed and a label, so adding a new consumer never perturbs the streams of
-    existing ones.
+    existing ones.  Fork labels are recorded (in order) so a checkpoint can
+    carry the stream's lineage alongside its Mersenne Twister state.
     """
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self._random = random.Random(seed)
+        #: Labels forked from this stream, in fork order.  Because child
+        #: seeds are derived from ``(seed, label)`` alone — not from the
+        #: parent's draw position — re-forking the same label after a
+        #: restore yields the same child stream.
+        self.fork_labels: List[str] = []
 
     def fork(self, label: str) -> "DeterministicRng":
         """Derive an independent child stream named by ``label``.
@@ -35,7 +41,40 @@ class DeterministicRng:
         """
         digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
         child_seed = int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+        self.fork_labels.append(label)
         return DeterministicRng(child_seed)
+
+    # -- checkpoint support --------------------------------------------------
+
+    def getstate(self) -> Dict[str, Any]:
+        """JSON-representable snapshot: seed, fork lineage, and the
+        underlying :class:`random.Random` state (version, 625-word
+        Mersenne state vector, gauss carry)."""
+        version, internal, gauss_next = self._random.getstate()
+        return {
+            "seed": self.seed,
+            "fork_labels": list(self.fork_labels),
+            "version": version,
+            "internal": list(internal),
+            "gauss_next": gauss_next,
+        }
+
+    def setstate(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot produced by :meth:`getstate`; the stream
+        continues bit-identically from the captured position."""
+        self.seed = state["seed"]
+        self.fork_labels = list(state["fork_labels"])
+        self._random.setstate((state["version"],
+                               tuple(state["internal"]),
+                               state["gauss_next"]))
+
+    def serialize_state(self) -> Dict[str, Any]:
+        """Serializable protocol alias for :meth:`getstate`."""
+        return self.getstate()
+
+    def deserialize_state(self, state: Dict[str, Any]) -> None:
+        """Serializable protocol alias for :meth:`setstate`."""
+        self.setstate(state)
 
     def uniform(self, lo: float, hi: float) -> float:
         """Uniform float in [lo, hi]."""

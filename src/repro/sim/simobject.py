@@ -29,6 +29,11 @@ class Simulation:
         self.stats = StatRegistry()
         self.rng = DeterministicRng(seed)
         self._objects: Dict[str, "SimObject"] = {}
+        #: Persistent events by registry name — the callbacks a restored
+        #: checkpoint can re-bind pending events to.  Populated by
+        #: :meth:`SimObject.make_event`; one-shot ``call_after`` closures
+        #: are deliberately absent (they imply non-quiescence).
+        self._named_events: Dict[str, Event] = {}
         self.tracer = Tracer(trace_options)
         self.invariants = InvariantRegistry(self.events, mode=invariant_mode)
         self._register_core_invariants()
@@ -95,6 +100,55 @@ class Simulation:
         for obj in self._objects.values():
             obj.on_stats_reset()
 
+    # -- checkpoint support ------------------------------------------------
+
+    def register_event(self, name: str, event: Event) -> Event:
+        """Register a persistent event so checkpoints can re-bind it.
+
+        Names are unique per simulation (SimObject names already are, and
+        event names are prefixed by their owner), so a collision means two
+        components claimed the same identity — fail loudly.
+        """
+        if name in self._named_events:
+            raise ValueError(f"duplicate named event {name!r}")
+        self._named_events[name] = event
+        return event
+
+    def named_event_status(self):
+        """Pending live events partitioned into (registered, unregistered).
+
+        A pending event outside the registry is a one-shot closure that
+        cannot survive a checkpoint; callers use this to decide whether
+        the simulation has drained far enough to snapshot.
+        """
+        names_by_event = {id(ev): name
+                          for name, ev in self._named_events.items()}
+        registered, unregistered = [], []
+        for event in self.events.live_events():
+            (registered if id(event) in names_by_event
+             else unregistered).append(event)
+        return registered, unregistered
+
+    def serialize_state(self) -> dict:
+        """Snapshot the simulation-global state: event queue (pending
+        events by registry name), RNG stream, stats registry, tracer."""
+        names_by_event = {id(ev): name
+                          for name, ev in self._named_events.items()}
+        return {
+            "events": self.events.serialize_state(names_by_event),
+            "rng": self.rng.getstate(),
+            "stats": self.stats.serialize_state(),
+            "trace": self.tracer.serialize_state(),
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        """Restore simulation-global state into this freshly built
+        simulation: the event queue must be empty (nothing started)."""
+        self.events.deserialize_state(state["events"], self._named_events)
+        self.rng.setstate(state["rng"])
+        self.stats.deserialize_state(state["stats"])
+        self.tracer.deserialize_state(state["trace"])
+
 
 class SimObject:
     """A named simulation component.
@@ -119,9 +173,15 @@ class SimObject:
 
     def make_event(self, callback: Callable[[], None], name: str = "",
                    priority: int = Event.DEFAULT_PRIORITY) -> Event:
-        """Create an event owned by this object."""
-        return Event(callback, name=f"{self.name}.{name or 'event'}",
-                     priority=priority)
+        """Create a persistent event owned by this object.
+
+        The event is registered in the simulation's named-event registry,
+        which is what allows it to be pending across a checkpoint: the
+        restoring side looks the callback up again by the same name.
+        """
+        event = Event(callback, name=f"{self.name}.{name or 'event'}",
+                      priority=priority)
+        return self.sim.register_event(event.name, event)
 
     def schedule(self, event: Event, when: int) -> Event:
         """Schedule an event at an absolute tick."""

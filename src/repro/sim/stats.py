@@ -31,6 +31,12 @@ class Counter:
         """Reset to the initial (empty) state."""
         self.value = 0
 
+    def serialize_state(self):
+        return self.value
+
+    def deserialize_state(self, state) -> None:
+        self.value = state
+
     def __int__(self) -> int:
         return int(self.value)
 
@@ -60,6 +66,12 @@ class Distribution:
     def reset(self) -> None:
         """Reset to the initial (empty) state."""
         self.samples.clear()
+
+    def serialize_state(self):
+        return list(self.samples)
+
+    def deserialize_state(self, state) -> None:
+        self.samples = [float(x) for x in state]
 
     @property
     def count(self) -> int:
@@ -186,6 +198,19 @@ class Histogram:
         self.underflow = 0
         self.overflow = 0
 
+    def serialize_state(self):
+        return {"buckets": list(self.buckets), "underflow": self.underflow,
+                "overflow": self.overflow}
+
+    def deserialize_state(self, state) -> None:
+        if len(state["buckets"]) != self.nbuckets:
+            raise ValueError(
+                f"histogram {self.name}: bucket count changed "
+                f"({len(state['buckets'])} -> {self.nbuckets})")
+        self.buckets = list(state["buckets"])
+        self.underflow = state["underflow"]
+        self.overflow = state["overflow"]
+
     @property
     def count(self) -> int:
         """Number of items currently held."""
@@ -253,6 +278,20 @@ class StatGroup:
         for stat in self._stats.values():
             stat.reset()
 
+    def serialize_state(self):
+        return {short: stat.serialize_state()
+                for short, stat in self._stats.items()}
+
+    def deserialize_state(self, state) -> None:
+        if set(state) != set(self._stats):
+            missing = set(self._stats) - set(state)
+            extra = set(state) - set(self._stats)
+            raise ValueError(
+                f"stat group {self.owner_name}: schema mismatch "
+                f"(missing {sorted(missing)}, unexpected {sorted(extra)})")
+        for short, value in state.items():
+            self._stats[short].deserialize_state(value)
+
 
 class StatRegistry:
     """All stat groups of a simulation; supports dump and global reset.
@@ -274,6 +313,25 @@ class StatRegistry:
         """Reset to the initial (empty) state."""
         for grp in self._groups:
             grp.reset()
+
+    def serialize_state(self):
+        """Groups serialized positionally (creation order), name-checked
+        on restore so a layout drift fails loudly instead of silently
+        mapping counters to the wrong owner."""
+        return [[grp.owner_name, grp.serialize_state()]
+                for grp in self._groups]
+
+    def deserialize_state(self, state) -> None:
+        if len(state) != len(self._groups):
+            raise ValueError(
+                f"stat registry: group count changed "
+                f"({len(state)} -> {len(self._groups)})")
+        for (name, grp_state), grp in zip(state, self._groups):
+            if name != grp.owner_name:
+                raise ValueError(
+                    f"stat registry: group order changed "
+                    f"({name!r} -> {grp.owner_name!r})")
+            grp.deserialize_state(grp_state)
 
     def dump(self) -> Dict[str, object]:
         """Flatten all stats into a {full_name: value} mapping."""

@@ -137,6 +137,57 @@ class Tracer:
         self.recorded += 1
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def _options_signature(self) -> dict:
+        opts = self.options
+        return {
+            "enabled": opts.enabled,
+            "buffer_size": opts.buffer_size,
+            "categories": (sorted(opts.categories)
+                           if opts.categories is not None else None),
+            "objects": (sorted(opts.objects)
+                        if opts.objects is not None else None),
+        }
+
+    def serialize_state(self) -> dict:
+        """Snapshot retained records and counters.  The trace digest
+        covers warm-up-era records, so a restored run must resume with
+        the same buffers to stay bit-identical with a straight-through
+        run."""
+        buffers = [[obj, [[ev.tick, ev.seq, ev.category, ev.event,
+                           [list(pair) for pair in ev.fields]]
+                          for ev in buf]]
+                   for obj, buf in self._buffers.items()]
+        return {
+            "options": self._options_signature(),
+            "buffers": buffers,
+            "seq": self._seq,
+            "recorded": self.recorded,
+            "filtered": self.filtered,
+            "evicted": self.evicted,
+        }
+
+    def deserialize_state(self, state: dict) -> None:
+        if state["options"] != self._options_signature():
+            raise ValueError(
+                f"trace options changed across checkpoint: "
+                f"{state['options']} -> {self._options_signature()}")
+        self._buffers = {}
+        for obj, records in state["buffers"]:
+            buf = deque(maxlen=self.options.buffer_size)
+            for tick, seq, category, event, fields in records:
+                packed = tuple((key, value) for key, value in fields)
+                buf.append(TraceEvent(tick, seq, obj, category, event,
+                                      packed))
+            self._buffers[obj] = buf
+        self._seq = state["seq"]
+        self.recorded = state["recorded"]
+        self.filtered = state["filtered"]
+        self.evicted = state["evicted"]
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
 

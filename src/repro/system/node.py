@@ -9,7 +9,7 @@ launch the DPDK application through the EAL.
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import Optional, Type
 
 from repro.cpu import make_core
@@ -24,12 +24,14 @@ from repro.loadgen.ether_load_gen import (
     DEFAULT_DST_MAC,
     DEFAULT_SRC_MAC,
     EtherLoadGen,
+    SyntheticConfig,
 )
 from repro.loadgen.memcached_client import MemcachedClient, MemcachedClientConfig
 from repro.nic.i8254x import E1000_DEVICE_ID, INTEL_VENDOR_ID
 from repro.nic.phy import EtherLink
 from repro.pci.bus import PciBus
 from repro.pci.uio import UioBindError, UioPciGeneric
+from repro.sim.checkpoint import CheckpointError, seal, verify
 from repro.sim.simobject import Simulation
 from repro.sim.ticks import us_to_ticks
 from repro.system.config import SystemConfig
@@ -38,6 +40,33 @@ from repro.system.topology import Topology, build_platform
 
 class NodeBuildError(RuntimeError):
     """The node could not be brought up (e.g. DPDK on baseline gem5)."""
+
+
+@dataclass(frozen=True)
+class WarmupPlan:
+    """One description of a warm-up phase, shared by every entry point.
+
+    The plan is deliberately *load-independent*: the warm rate is a
+    canonical comfortable rate, not the measured offered load, so sweep
+    points that differ only in offered load produce byte-identical
+    post-warm-up machine state — the property that lets one warm-up
+    checkpoint be shared across a whole load sweep.
+    """
+
+    #: Minimum warm simulated time (the link round trip is always added).
+    min_warm_us: float = 100.0
+    #: Warm until the app has processed this many packets (cache cycling).
+    warm_packet_target: int = 500
+    #: Synthetic (EtherLoadGen) warm traffic; 0 Gbps disables it.
+    packet_size: int = 64
+    warm_rate_gbps: float = 0.0
+    expect_responses: bool = True
+    #: Memcached warm traffic; 0 requests disables it.
+    warm_requests: int = 0
+    warm_rate_rps: float = 0.0
+    #: Post-warm-up drain: run in fixed chunks until checkpoint-ready.
+    drain_chunk_us: float = 200.0
+    max_drain_chunks: int = 400
 
 
 class _BaseNode:
@@ -68,6 +97,7 @@ class _BaseNode:
         self.link = EtherLink(self.sim, "link0",
                               bandwidth_bits_per_sec=config.link_bandwidth_bps,
                               delay_ticks=us_to_ticks(config.link_delay_us))
+        self.topology.add("link0", self.link)
         self.loadgen: Optional[EtherLoadGen] = None
         self.memcached_client: Optional[MemcachedClient] = None
         self.app = None
@@ -197,11 +227,77 @@ class _BaseNode:
         """Advance the simulation by the given simulated time."""
         return self.sim.run(until=self.sim.now + us_to_ticks(microseconds))
 
-    def warmup_and_reset(self) -> None:
-        """Run the configured warm-up, then reset statistics (the gem5
-        methodology of §VI.A)."""
-        self.run_us(self.config.warmup_us)
+    def warmup_and_reset(self, plan: Optional[WarmupPlan] = None) -> None:
+        """Run one warm-up phase, drain to quiescence, reset statistics.
+
+        This is the single warm-up entry point (the gem5 methodology of
+        §VI.A): warm traffic is offered at the plan's canonical rate,
+        stopped, and the node drained until it is checkpoint-ready before
+        the statistics reset.  The post-reset state is therefore exactly
+        what :meth:`checkpoint` captures, so a restored node and a
+        straight-through node run identical measured phases.
+        """
+        if plan is None:
+            plan = WarmupPlan(min_warm_us=self.config.warmup_us)
+        warming = False
+        if self.loadgen is not None and plan.warm_rate_gbps > 0:
+            self.loadgen.start_synthetic(SyntheticConfig(
+                packet_size=plan.packet_size,
+                rate_gbps=plan.warm_rate_gbps,
+                count=None,
+                expect_responses=plan.expect_responses,
+            ))
+            warming = True
+        elif self.memcached_client is not None and plan.warm_requests > 0:
+            self.memcached_client.run_warmup(plan.warm_requests,
+                                             plan.warm_rate_rps)
+            warming = True
+        self.run_us(max(plan.min_warm_us,
+                        self.config.link_delay_us + 100.0))
+        if warming and self.app is not None:
+            # Packet-count criterion: slow kernel-stack apps need far more
+            # simulated time than fast DPDK apps to cycle their caches.
+            for _ in range(60):
+                if self.app.packets_processed >= plan.warm_packet_target:
+                    break
+                self.run_us(plan.drain_chunk_us)
+        if self.loadgen is not None and self.loadgen.active:
+            self.loadgen.stop()
+        if (self.memcached_client is not None
+                and self.memcached_client.active):
+            self.memcached_client.stop()
+        self.drain_to_quiescence(chunk_us=plan.drain_chunk_us,
+                                 max_chunks=plan.max_drain_chunks)
         self.reset_measurement()
+        if self.memcached_client is not None:
+            self.memcached_client.reset_measurements()
+
+    def drain_to_quiescence(self, chunk_us: float = 200.0,
+                            max_chunks: int = 400) -> None:
+        """Run in fixed deterministic chunks until the node is
+        checkpoint-ready (every queue empty, nothing on the wire, no
+        anonymous one-shot event pending)."""
+        self.run_us(2 * self.config.link_delay_us + 200.0)
+        for _ in range(max_chunks):
+            if self._checkpoint_ready():
+                return
+            self.run_us(chunk_us)
+        raise CheckpointError(
+            f"{self.config.label}: node failed to reach quiescence after "
+            f"{max_chunks} drain chunks of {chunk_us}us")
+
+    def _checkpoint_ready(self) -> bool:
+        """Quiescent datapath, idle traffic sources, and every pending
+        event re-creatable by name on restore."""
+        if not self.fully_quiescent():
+            return False
+        if self.loadgen is not None and self.loadgen.active:
+            return False
+        if (self.memcached_client is not None
+                and self.memcached_client.active):
+            return False
+        _registered, unregistered = self.sim.named_event_status()
+        return not unregistered
 
     def reset_measurement(self) -> None:
         """Reset every measurement counter in one place.  The counters
@@ -216,6 +312,94 @@ class _BaseNode:
             worker.reset_counters()
         self.dma.reset_counters()
         self.iobus.reset_counters()
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self, extra_meta: Optional[dict] = None) -> dict:
+        """Capture the node's complete state as a sealed checkpoint
+        document (the gem5 drain-then-serialize flow).
+
+        The node must be quiescent (:meth:`drain_to_quiescence`); a live
+        packet anywhere in the datapath raises :class:`CheckpointError`.
+        Taking a checkpoint reads state only — it never perturbs the run.
+        """
+        if not self._checkpoint_ready():
+            _registered, unregistered = self.sim.named_event_status()
+            detail = []
+            if not self.fully_quiescent():
+                detail.append("packets are still in flight")
+            if unregistered:
+                detail.append(
+                    "anonymous one-shot events pending: "
+                    + ", ".join(sorted(e.name for e in unregistered)))
+            raise CheckpointError(
+                f"{self.config.label}: node is not checkpoint-ready "
+                f"({'; '.join(detail) or 'traffic source still active'})")
+        labels = [label for label, _comp in self.topology.components()]
+        meta = {
+            "label": self.config.label,
+            "app": type(self.app).__name__ if self.app is not None else None,
+            "seed": self.sim.rng.seed,
+            "components": labels,
+        }
+        if extra_meta:
+            meta.update(extra_meta)
+        objects = {}
+        for label, component in self.topology.components():
+            try:
+                objects[label] = component.serialize_state()
+            except CheckpointError:
+                raise
+            except Exception as exc:
+                raise CheckpointError(
+                    f"{self.config.label}: serializing {label!r} failed: "
+                    f"{exc}") from exc
+        return seal({
+            "meta": meta,
+            "sim": self.sim.serialize_state(),
+            "objects": objects,
+        })
+
+    def restore(self, doc: dict) -> None:
+        """Restore a checkpoint into this (freshly built, never started)
+        node: the inverse of :meth:`checkpoint`.
+
+        The node must have been rebuilt with the same configuration,
+        application and seed — the topology label set is verified, and
+        each component checks its own schema.  Do not call ``start()``
+        on a restored node: the event queue is reconstructed exactly,
+        including the application's poll/NAPI events.
+        """
+        doc = verify(doc)
+        meta = doc["meta"]
+        if meta["label"] != self.config.label:
+            raise CheckpointError(
+                f"checkpoint is for config {meta['label']!r}, "
+                f"not {self.config.label!r}")
+        labels = [label for label, _comp in self.topology.components()]
+        if meta["components"] != labels:
+            raise CheckpointError(
+                f"topology mismatch: checkpoint has {meta['components']}, "
+                f"node has {labels}")
+        app_name = type(self.app).__name__ if self.app is not None else None
+        if meta["app"] != app_name:
+            raise CheckpointError(
+                f"checkpoint is for application {meta['app']!r}, "
+                f"node runs {app_name!r}")
+        if meta["seed"] != self.sim.rng.seed:
+            raise CheckpointError(
+                f"checkpoint was taken with seed {meta['seed']}, "
+                f"node was built with seed {self.sim.rng.seed}")
+        for label, component in self.topology.components():
+            try:
+                component.deserialize_state(doc["objects"][label])
+            except CheckpointError:
+                raise
+            except Exception as exc:
+                raise CheckpointError(
+                    f"{self.config.label}: restoring {label!r} failed: "
+                    f"{exc}") from exc
+        self.sim.deserialize_state(doc["sim"])
 
 
 class DpdkNode(_BaseNode):

@@ -29,6 +29,7 @@ from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.xbar import BandwidthServer
 from repro.nic.dma import DmaEngine
 from repro.nic.i8254x import I8254xNic, NicConfig
+from repro.sim.checkpoint import assert_serializable
 from repro.sim.ports import (
     ClockDomain,
     Port,
@@ -76,6 +77,13 @@ class Topology:
                 f"{self.name}: duplicate component label {label!r}")
         if component is None:
             raise TopologyError(f"{self.name}: component {label!r} is None")
+        # Every component is part of the checkpoint traversal, so a
+        # missing serialize/deserialize pair is a build-time error here
+        # rather than a checkpoint-time surprise.
+        try:
+            assert_serializable(label, component)
+        except Exception as exc:
+            raise TopologyError(f"{self.name}: {exc}") from None
         self._components[label] = component
         return component
 

@@ -81,3 +81,53 @@ class TestCommands:
         assert main(["graph", "iperf", "-o", str(target)]) == 0
         assert target.read_text().startswith("digraph")
         assert str(target) in capsys.readouterr().out
+
+
+class TestCheckpointCommands:
+    def test_save_info_restore_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "warm.ckpt"
+        assert main(["checkpoint", "save", "testpmd", "--size", "256",
+                     "-o", str(path)]) == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "checkpoint written" in out
+
+        assert main(["checkpoint", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "format:  1" in out
+        assert "meta.app_name: testpmd" in out
+
+        assert main(["checkpoint", "restore", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "round-trip digest matches" in out
+
+    def test_save_restore_memcached(self, capsys, tmp_path):
+        path = tmp_path / "mc.ckpt"
+        assert main(["checkpoint", "save", "memcached_dpdk",
+                     "-o", str(path)]) == 0
+        assert main(["checkpoint", "restore", str(path)]) == 0
+        assert "round-trip digest matches" in capsys.readouterr().out
+
+    def test_info_rejects_corrupt_file(self, capsys, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text("{not json")
+        assert main(["checkpoint", "info", str(path)]) == 1
+        assert "invalid checkpoint" in capsys.readouterr().err
+
+    def test_restore_rejects_tampered_file(self, capsys, tmp_path):
+        path = tmp_path / "warm.ckpt"
+        assert main(["checkpoint", "save", "testpmd",
+                     "-o", str(path)]) == 0
+        capsys.readouterr()
+        path.write_text(path.read_text().replace('"seed":0', '"seed":1'))
+        assert main(["checkpoint", "restore", str(path)]) == 1
+        assert "invalid checkpoint" in capsys.readouterr().err
+
+    def test_warmup_cache_flag_populates_cache(self, capsys, tmp_path,
+                                               monkeypatch):
+        monkeypatch.delenv("REPRO_WARMUP_CACHE", raising=False)
+        assert main(["run", "testpmd", "--size", "256", "--gbps", "2",
+                     "--packets", "300",
+                     "--warmup-cache", str(tmp_path)]) == 0
+        assert list(tmp_path.glob("warmup-*.json")), \
+            "--warmup-cache did not populate the cache"

@@ -108,8 +108,10 @@ class TestSensitivities:
 class TestMemcached:
     def test_dpdk_sustains_several_times_kernel_rps(self):
         """Fig 18: ~709k RPS (DPDK) vs ~218k RPS (kernel)."""
-        kernel = run_memcached(CFG, True, 400_000, n_requests=1500)
-        dpdk = run_memcached(CFG, False, 400_000, n_requests=1500)
+        # The window must outlast the quiescent-start ramp (the kernel
+        # backlog absorbs the first ~hundred requests without drops).
+        kernel = run_memcached(CFG, True, 400_000, n_requests=3000)
+        dpdk = run_memcached(CFG, False, 400_000, n_requests=3000)
         assert kernel.drop_rate > 0.15      # far beyond the kernel knee
         assert dpdk.drop_rate < 0.02        # comfortably within DPDK's
 

@@ -66,8 +66,17 @@ class TestPointConstructors:
 class TestSeeding:
     def test_rng_label_identifies_the_point(self):
         a = fixed_load_point(gem5_default(), "testpmd", 256, 10.0)
-        b = fixed_load_point(gem5_default(), "testpmd", 256, 20.0)
+        b = fixed_load_point(gem5_default(), "testpmd", 512, 10.0)
         assert a.rng_label != b.rng_label
+
+    def test_rng_label_shared_across_loads(self):
+        # Points differing only in offered load share one RNG stream,
+        # so a load sweep passes through identical warm-up state and can
+        # share a single warm-up checkpoint (docs/checkpointing.md).
+        a = fixed_load_point(gem5_default(), "testpmd", 256, 10.0)
+        b = fixed_load_point(gem5_default(), "testpmd", 256, 20.0)
+        assert a.rng_label == b.rng_label
+        assert a.effective_seed == b.effective_seed
 
     def test_effective_seed_is_stable(self):
         p = fixed_load_point(gem5_default(), "testpmd", 256, 10.0, seed=7)

@@ -1,0 +1,104 @@
+"""Restore-equivalence: the checkpoint correctness bar.
+
+For every application, three runs must be *bit-identical* in every
+measured quantity (full result dict, including latency percentiles and
+the trace digest):
+
+- **plain**: warm up and measure, no cache anywhere;
+- **cold**: same, but with a warm-up cache attached — the run simulates
+  the warm-up and saves the post-warm-up checkpoint;
+- **warm**: with the now-populated cache — the run *restores* the
+  checkpoint instead of simulating the warm-up, then measures.
+
+plain == cold proves that taking a checkpoint never perturbs a run;
+cold == warm proves that restore reconstructs the exact machine state.
+A sweep may therefore share one warm-up snapshot across all its load
+points without changing a single measured bit.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.runner import run_fixed_load, run_memcached
+from repro.harness.warmup_cache import WarmupCache
+from repro.system.presets import gem5_default
+
+# (app, packet_size, gbps, n_packets) — one light point per app; rates
+# chosen below each app's knee so the runs stay fast.
+FIXED_LOAD_APPS = [
+    ("testpmd", 256, 8.0, 800),
+    ("touchdrop", 256, 8.0, 800),
+    ("touchfwd", 256, 3.0, 800),
+    ("rxptx", 256, 6.0, 800),
+    ("iperf", 1518, 4.0, 400),
+]
+
+
+@pytest.mark.parametrize("app,size,gbps,n_packets", FIXED_LOAD_APPS)
+def test_fixed_load_restore_is_bit_identical(tmp_path, app, size, gbps,
+                                             n_packets):
+    config = gem5_default()
+    cache = WarmupCache(tmp_path)
+    plain = run_fixed_load(config, app, size, gbps, n_packets=n_packets)
+    cold = run_fixed_load(config, app, size, gbps, n_packets=n_packets,
+                          warmup_cache=cache)
+    warm = run_fixed_load(config, app, size, gbps, n_packets=n_packets,
+                          warmup_cache=cache)
+    assert cache.saves == 1 and cache.hits == 1, \
+        "cache did not follow the miss-then-hit script"
+    assert dataclasses.asdict(plain) == dataclasses.asdict(cold), \
+        f"{app}: taking a warm-up checkpoint perturbed the run"
+    assert dataclasses.asdict(cold) == dataclasses.asdict(warm), \
+        f"{app}: restoring the warm-up checkpoint changed the results"
+
+
+@pytest.mark.parametrize("kernel", [False, True],
+                         ids=["memcached_dpdk", "memcached_kernel"])
+def test_memcached_restore_is_bit_identical(tmp_path, kernel):
+    config = gem5_default()
+    cache = WarmupCache(tmp_path)
+    kw = dict(rate_rps=200_000.0, n_requests=500)
+    plain = run_memcached(config, kernel, **kw)
+    cold = run_memcached(config, kernel, warmup_cache=cache, **kw)
+    warm = run_memcached(config, kernel, warmup_cache=cache, **kw)
+    assert cache.saves == 1 and cache.hits == 1
+    assert dataclasses.asdict(plain) == dataclasses.asdict(cold)
+    assert dataclasses.asdict(cold) == dataclasses.asdict(warm)
+
+
+def test_snapshot_is_shared_across_loads(tmp_path):
+    """The point of the subsystem: two points differing only in offered
+    load share one warm-up snapshot, and the restored run matches a
+    from-scratch run at the same load exactly."""
+    config = gem5_default()
+    cache = WarmupCache(tmp_path)
+    run_fixed_load(config, "touchfwd", 256, 2.0, n_packets=600,
+                   warmup_cache=cache)
+    restored = run_fixed_load(config, "touchfwd", 256, 4.0, n_packets=600,
+                              warmup_cache=cache)
+    assert cache.saves == 1 and cache.hits == 1, \
+        "second load did not reuse the first load's snapshot"
+    scratch = run_fixed_load(config, "touchfwd", 256, 4.0, n_packets=600)
+    assert dataclasses.asdict(restored) == dataclasses.asdict(scratch)
+
+
+def test_snapshot_not_shared_across_packet_sizes(tmp_path):
+    """Packet size shapes the warm-up traffic, so it keys the snapshot."""
+    config = gem5_default()
+    cache = WarmupCache(tmp_path)
+    run_fixed_load(config, "testpmd", 256, 8.0, n_packets=600,
+                   warmup_cache=cache)
+    run_fixed_load(config, "testpmd", 512, 8.0, n_packets=600,
+                   warmup_cache=cache)
+    assert cache.saves == 2 and cache.hits == 0
+
+
+def test_snapshot_not_shared_across_seeds(tmp_path):
+    config = gem5_default()
+    cache = WarmupCache(tmp_path)
+    run_fixed_load(config, "testpmd", 256, 8.0, n_packets=600, seed=1,
+                   warmup_cache=cache)
+    run_fixed_load(config, "testpmd", 256, 8.0, n_packets=600, seed=2,
+                   warmup_cache=cache)
+    assert cache.saves == 2 and cache.hits == 0

@@ -20,6 +20,14 @@ class Owner:
     def __init__(self, name):
         self.name = name
 
+    # Topology.add enforces the checkpoint Serializable protocol on
+    # every component at registration time.
+    def serialize_state(self):
+        return {}
+
+    def deserialize_state(self, state):
+        pass
+
 
 class TestTopologyRegistry:
     def test_add_returns_component(self):
@@ -37,6 +45,13 @@ class TestTopologyRegistry:
     def test_none_component_rejected(self):
         with pytest.raises(TopologyError, match="None"):
             Topology("t").add("x", None)
+
+    def test_unserializable_component_rejected(self):
+        class NoCheckpoint:
+            pass
+
+        with pytest.raises(TopologyError, match="serialize_state"):
+            Topology("t").add("x", NoCheckpoint())
 
     def test_unknown_label_names_known_ones(self):
         topo = Topology("t")
