@@ -30,6 +30,7 @@ from repro.kernelstack.stack import KernelStackModel
 from repro.mem.address import AddressSpace
 from repro.net.packet import Packet
 from repro.sim.checkpoint import CheckpointError
+from repro.sim.event_queue import EventPool, batching_enabled
 from repro.sim.ports import KIND_APP, RequestPort
 from repro.sim.simobject import SimObject, Simulation
 from repro.sim.ticks import ns_to_ticks
@@ -56,6 +57,12 @@ class DpdkApp(SimObject):
         region = address_space.allocate(f"{name}.text", 16 * 1024)
         self._code = [region.addr(i * 64) for i in range(self.code_lines)]
         self._poll_event = self.make_event(self._poll, "poll")
+        # Pooled burst-completion event: at most one in flight (the loop
+        # is run-to-completion), so the pool never grows past one event,
+        # but each burst skips an Event + closure + f-string allocation.
+        self._event_pools = batching_enabled()
+        self._finish_pool = EventPool(self._finish_burst,
+                                      f"{name}.finish_burst")
         self._idle = True
         self._running = False
         self.packets_processed = 0
@@ -156,9 +163,13 @@ class DpdkApp(SimObject):
         if self.sim.tracer.enabled:
             self.trace("app", "burst", harvested=len(frames),
                        outgoing=len(outgoing), ns=round(total_ns, 3))
-        self.call_after(ns_to_ticks(total_ns),
-                        lambda out=outgoing: self._finish_burst(out),
-                        name="finish_burst")
+        if self._event_pools:
+            self._finish_pool.schedule_at(
+                self.sim.events, self.now + ns_to_ticks(total_ns), outgoing)
+        else:
+            self.call_after(ns_to_ticks(total_ns),
+                            lambda out=outgoing: self._finish_burst(out),
+                            name="finish_burst")
 
     def _pmd_work(self, frame: RxMbuf) -> Work:
         """Driver-side footprint: descriptor read, mbuf metadata write
@@ -249,6 +260,8 @@ class KernelNetApp(SimObject):
         self.core = core
         self.costs = costs
         self._napi_event = self.make_event(self._napi, "napi")
+        self._event_pools = batching_enabled()
+        self._napi_pool = EventPool(self._napi_pooled, f"{name}.napi_next")
         self._processing = False
         self.packets_processed = 0
         self.interrupts = 0
@@ -320,7 +333,15 @@ class KernelNetApp(SimObject):
         if self.sim.tracer.enabled:
             self.trace("app", "napi", harvested=batch,
                        ns=round(total_ns, 3))
-        self.call_after(ns_to_ticks(total_ns), self._napi, name="napi_next")
+        if self._event_pools:
+            self._napi_pool.schedule_at(
+                self.sim.events, self.now + ns_to_ticks(total_ns))
+        else:
+            self.call_after(ns_to_ticks(total_ns), self._napi,
+                            name="napi_next")
+
+    def _napi_pooled(self, _payload) -> None:
+        self._napi()
 
     # -- subclass hook -----------------------------------------------------------
 

@@ -10,6 +10,7 @@
 - ``apps``      — list the registered applications
 - ``graph``     — emit a node's wiring graph as Graphviz DOT
 - ``checkpoint``— save/restore/info on warm-up checkpoints
+- ``profile``   — cProfile one fixed-load run and print the hotspots
 
 Every simulation routes through the parallel sweep executor:
 ``--jobs N`` fans a sweep's points out across N worker processes and
@@ -39,6 +40,7 @@ Examples::
     python -m repro checkpoint save testpmd --size 256 -o warm.ckpt
     python -m repro checkpoint info warm.ckpt
     python -m repro checkpoint restore warm.ckpt
+    python -m repro profile gem5 --app touchfwd --top 15
 """
 
 from __future__ import annotations
@@ -325,6 +327,39 @@ def _cmd_checkpoint_restore(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    """cProfile one fixed-load run and print the top-N hotspots.
+
+    The run goes through :func:`repro.harness.runner.run_fixed_load`
+    directly (no executor, no worker processes) so the profile covers
+    exactly the simulation hot path a sweep point pays for.
+    """
+    import cProfile
+    import pstats
+    from io import StringIO
+
+    from repro.harness.runner import run_fixed_load
+
+    config = _platform(args.preset)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_fixed_load(config, args.app, args.size, args.gbps,
+                            n_packets=args.packets, seed=args.seed)
+    profiler.disable()
+
+    print(f"{args.app} {args.size}B @ {args.gbps:g} Gbps on "
+          f"{result.label}: service {result.service_gbps:.2f} Gbps, "
+          f"drop {result.drop_rate * 100:.2f}%")
+    stream = StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(stream.getvalue().rstrip())
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"raw profile written to {args.output}")
+    return 0
+
+
 def _cmd_apps(args) -> int:
     for name, (node_class, app_class, echoes) in sorted(
             APP_REGISTRY.items()):
@@ -453,6 +488,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore a saved checkpoint and verify the round trip")
     p_restore.add_argument("file")
     p_restore.set_defaults(func=_cmd_checkpoint_restore)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="cProfile one fixed-load run and print the hotspots")
+    p_prof.add_argument("preset", choices=sorted(PLATFORMS),
+                        help="platform preset to profile")
+    p_prof.add_argument("--app", choices=sorted(APP_REGISTRY),
+                        default="testpmd")
+    p_prof.add_argument("--size", type=int, default=256,
+                        help="frame size in bytes incl. CRC")
+    p_prof.add_argument("--gbps", type=float, default=25.0)
+    p_prof.add_argument("--packets", type=int, default=600)
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--top", type=_positive_int, default=25,
+                        help="number of hotspot rows to print")
+    p_prof.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "calls"))
+    p_prof.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="also dump raw pstats data to FILE")
+    p_prof.set_defaults(func=_cmd_profile)
 
     return parser
 

@@ -46,7 +46,9 @@ class OutOfOrderCore(CoreModel):
     def _time_work(self, work: Work, now_ns: float) -> float:
         cfg = self.config
         period = cfg.period_ns
-        hierarchy = self.hierarchy
+        # Bound method hoisted out of the per-address loops below; this
+        # method runs once per simulated burst packet.
+        core_access = self.hierarchy.core_access
 
         # Issue/retire bandwidth: every access occupies one issue slot.
         issue_cycles = work.compute_cycles + (
@@ -58,7 +60,7 @@ class OutOfOrderCore(CoreModel):
         # gives a small overlap factor.
         fetch_stall_ns = 0.0
         for addr in work.ifetch:
-            result = hierarchy.core_access(addr, now_ns, is_instr=True)
+            result = core_access(addr, now_ns, is_instr=True)
             if result.level == LEVEL_L1:
                 self.l1_hits += 1
             else:
@@ -72,7 +74,7 @@ class OutOfOrderCore(CoreModel):
         prefetched_ns = self._prefetched_cost_ns()
         miss_ns_total = 0.0
         for addr in work.reads:
-            result = hierarchy.core_access(addr, now_ns)
+            result = core_access(addr, now_ns)
             if result.level == LEVEL_L1:
                 self.l1_hits += 1
             elif addr in covered:
@@ -83,7 +85,7 @@ class OutOfOrderCore(CoreModel):
             else:
                 miss_ns_total += result.cycles * period + result.dram_ns
         for addr in work.writes:
-            result = hierarchy.core_access(addr, now_ns, is_write=True)
+            result = core_access(addr, now_ns, is_write=True)
             if result.level == LEVEL_L1:
                 self.l1_hits += 1
             else:
@@ -98,7 +100,7 @@ class OutOfOrderCore(CoreModel):
         # Dependent chain: fully serial, including L1 hit latency.
         dep_ns = 0.0
         for addr in work.dependent_reads:
-            result = hierarchy.core_access(addr, now_ns)
+            result = core_access(addr, now_ns)
             if result.level == LEVEL_L1:
                 self.l1_hits += 1
             dep_ns += result.cycles * period + result.dram_ns

@@ -8,7 +8,7 @@ masks all device interrupts at start-up, and the paper's fifth gem5 change
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+
 from typing import List, Sequence
 
 from repro.dpdk.mempool import Mbuf, Mempool
@@ -27,13 +27,23 @@ class PmdLaunchError(RuntimeError):
     """The PMD could not take control of the device."""
 
 
-@dataclass
 class RxMbuf:
-    """One received packet as the application sees it."""
+    """One received packet as the application sees it.
 
-    mbuf: Mbuf
-    packet: Packet
-    desc_addr: int
+    Slotted: one instance per harvested packet on the PMD hot path.
+    """
+
+    __slots__ = ("mbuf", "packet", "desc_addr")
+
+    def __init__(self, mbuf: Mbuf, packet: Packet,
+                 desc_addr: int) -> None:
+        self.mbuf = mbuf
+        self.packet = packet
+        self.desc_addr = desc_addr
+
+    def __repr__(self) -> str:
+        return (f"RxMbuf(mbuf={self.mbuf!r}, packet={self.packet!r}, "
+                f"desc_addr={self.desc_addr!r})")
 
 
 class E1000Pmd:

@@ -27,13 +27,22 @@ Three pieces:
 
 :class:`SweepExecutor`
     The scheduler.  ``jobs=1`` executes in-process (the reference serial
-    path); ``jobs>1`` runs up to ``jobs`` worker processes with a
-    per-point timeout and a bounded retry policy.  A worker that dies
-    without reporting (crash, OOM-kill) is retried in a fresh process;
-    once retries are exhausted the point falls back to in-process serial
-    execution.  Timeouts are retried the same way but raise
-    :class:`SweepTimeoutError` when exhausted — a hanging simulation
-    would hang the serial fallback too.
+    path); ``jobs>1`` runs up to ``jobs`` *persistent* worker processes.
+    Workers fork once — after the parent has prewarmed any shared
+    warm-up checkpoints, so every worker inherits the parsed snapshots
+    through copy-on-write memory — and then loop over batches of points
+    dispatched through per-worker task queues.  Each point is announced
+    with a tiny start marker (the parent's per-point timeout clock);
+    outcomes are reported once per batch, amortising result
+    serialisation.  A worker that dies without reporting (crash,
+    OOM-kill) may take the shared result queue's write lock with it, so
+    the executor charges the in-flight point with the crash and rebuilds
+    the pool around a fresh queue: the victim is retried on a fresh
+    worker, every other unreported point is requeued at its current
+    attempt, uncharged.  Once retries are exhausted a crashed point falls back to
+    in-process serial execution; exhausted timeouts raise
+    :class:`SweepTimeoutError` — a hanging simulation would hang the
+    serial fallback too.
 
 Determinism guarantee: for the same list of points, the executor returns
 the same results whether ``jobs`` is 1 or N, whether results came from
@@ -51,6 +60,8 @@ import json
 import multiprocessing
 import os
 import queue as queue_lib
+import shutil
+import tempfile
 import time
 import traceback
 from collections import deque
@@ -58,14 +69,16 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.harness.msb import MsbResult, find_msb
+from repro.harness.msb import MsbResult, _saturation_warmup_us, find_msb
 from repro.harness.runner import (
     FixedLoadResult,
     MemcachedRunResult,
+    prewarm_fixed_load,
+    prewarm_memcached,
     run_fixed_load,
     run_memcached,
 )
-from repro.harness.warmup_cache import WARMUP_CACHE_ENV
+from repro.harness.warmup_cache import WARMUP_CACHE_ENV, drop_warmup_cache
 from repro.sim.invariants import InvariantViolation
 from repro.sim.rng import DeterministicRng
 from repro.system.config import SystemConfig
@@ -203,6 +216,17 @@ def _poison_hang(point: SweepPoint):
     time.sleep(3600.0)
 
 
+def _poison_hang_once(point: SweepPoint):
+    # Hangs on its first attempt (stamping a flag file first) and
+    # completes on every later one — exercises timeout -> clean retry.
+    # The flag file path travels in ``app_options["flag"]``.
+    flag = Path(point.app_options["flag"])
+    if not flag.exists():
+        flag.write_text("first attempt")
+        time.sleep(3600.0)
+    return {"ok": True, "via": "retry", "seed": point.seed}
+
+
 def _poison_crash(point: SweepPoint):
     # Hard worker death (no exception, no result) in a worker; the serial
     # in-process fallback fails too — the unrecoverable-point case.
@@ -232,6 +256,7 @@ _KIND_HANDLERS: Dict[str, Callable[[SweepPoint], Any]] = {
     KIND_MSB: _run_msb,
     "_poison_raise": _poison_raise,
     "_poison_hang": _poison_hang,
+    "_poison_hang_once": _poison_hang_once,
     "_poison_crash": _poison_crash,
     "_poison_child_crash": _poison_child_crash,
     "_poison_invariant": _poison_invariant,
@@ -397,21 +422,94 @@ class ExecutorStats:
         return dict(asdict(self))
 
 
-def _worker_main(result_queue, index: int, point: SweepPoint) -> None:
-    """Worker entry: run one point, report (index, status, payload)."""
-    try:
-        payload = encode_result(execute_point(point))
-    except InvariantViolation as exc:
-        # The simulation itself is inconsistent: carry the verdict (not a
-        # bare traceback) so the driver can name the offending point.
-        result_queue.put((index, "invariant", str(exc)))
-        return
-    except BaseException as exc:   # report, don't kill the whole sweep
-        detail = (f"{type(exc).__name__}: {exc}\n"
-                  f"{traceback.format_exc()}")
-        result_queue.put((index, "error", detail))
-        return
-    result_queue.put((index, "ok", payload))
+def _persistent_worker_main(task_queue, result_queue,
+                            worker_id: int) -> None:
+    """Persistent worker: loop over dispatched batches until poisoned.
+
+    Each batch is a list of ``(index, point)`` tasks; ``None`` is the
+    shutdown sentinel.  The worker announces every point with a tiny
+    ``("start", worker_id, index)`` marker — the parent's per-point
+    timeout clock — accumulates outcomes, and reports the whole batch as
+    one ``("batch", worker_id, outcomes)`` message, so the (potentially
+    large) result payloads cross the queue once per batch rather than
+    once per point.  A failing point flushes the outcomes gathered so
+    far immediately and abandons the rest of the batch: the parent
+    aborts the sweep on any error/invariant verdict, so finishing the
+    batch first would only delay it.
+    """
+    while True:
+        batch = task_queue.get()
+        if batch is None:
+            return
+        outcomes = []
+        failed = False
+        for index, point in batch:
+            result_queue.put(("start", worker_id, index))
+            try:
+                payload = encode_result(execute_point(point))
+            except InvariantViolation as exc:
+                # The simulation itself is inconsistent: carry the
+                # verdict (not a bare traceback) so the driver can name
+                # the offending point.
+                outcomes.append((index, "invariant", str(exc)))
+                failed = True
+            except BaseException as exc:   # report, don't kill the sweep
+                detail = (f"{type(exc).__name__}: {exc}\n"
+                          f"{traceback.format_exc()}")
+                outcomes.append((index, "error", detail))
+                failed = True
+            else:
+                outcomes.append((index, "ok", payload))
+            if failed:
+                break
+        result_queue.put(("batch", worker_id, outcomes))
+
+
+def _warm_signature(point: SweepPoint):
+    """A hashable stand-in for the point's warm-up checkpoint key.
+
+    Cheaper than the real :func:`~repro.harness.warmup_cache.warmup_key`
+    (which needs a built node for the tracer signature): two points with
+    equal signatures share one warm-up snapshot.  Offered load is absent
+    by design — that is the property the cache exists for.  ``None``
+    means the kind has no warm-up to share (poison hooks).
+    """
+    if point.config is None or point.kind not in (
+            KIND_FIXED_LOAD, KIND_MEMCACHED, KIND_MSB):
+        return None
+    return (
+        point.kind,
+        json.dumps(point.config.canonical_dict(), sort_keys=True,
+                   default=repr),
+        point.app,
+        point.packet_size,
+        json.dumps(point.app_options or {}, sort_keys=True),
+        point.effective_seed,
+    )
+
+
+def prewarm_point(point: SweepPoint) -> bool:
+    """Populate the warm-up checkpoint cache for one sweep point without
+    running its measured phase.  Returns True when a warm-up was
+    simulated and stored; False on a cache hit, a kind with no warm-up,
+    or when no cache is configured (``REPRO_WARMUP_CACHE`` unset)."""
+    if point.kind == KIND_FIXED_LOAD:
+        return prewarm_fixed_load(
+            point.config, point.app, point.packet_size,
+            app_options=point.app_options, seed=point.effective_seed)
+    if point.kind == KIND_MSB:
+        # find_msb's first probe runs with the saturation warm-up window
+        # and the point's effective seed; prewarm exactly that key.
+        return prewarm_fixed_load(
+            point.config, point.app, point.packet_size,
+            app_options=point.app_options,
+            warmup_us=_saturation_warmup_us(point.config),
+            seed=point.effective_seed)
+    if point.kind == KIND_MEMCACHED:
+        return prewarm_memcached(
+            point.config, point.app == "memcached_kernel",
+            seed=point.effective_seed)
+    return False
 
 
 def _default_context():
@@ -439,10 +537,17 @@ class SweepExecutor:
         Extra attempts after the first for crashed or timed-out workers.
     warmup_cache_dir:
         Directory for the shared warm-up checkpoint cache (see
-        :mod:`repro.harness.warmup_cache`); ``None`` leaves the
-        ``REPRO_WARMUP_CACHE`` environment as-is.  Exported around each
+        :mod:`repro.harness.warmup_cache`).  Exported around each
         :meth:`run` so both the in-process path and worker processes
-        (which inherit the environment) pick it up.
+        (which inherit the environment) pick it up.  ``None`` leaves
+        the ``REPRO_WARMUP_CACHE`` environment as-is — except with
+        ``jobs > 1``, where (when the environment is also unset) the
+        executor provisions an *ephemeral* warm-up cache for the run:
+        warm-up sharing is what lets persistent workers fork after one
+        prewarmed checkpoint instead of each re-simulating it, so the
+        parallel mode carries its own.  The ephemeral directory is
+        deleted when :meth:`run` returns; restored warm-ups are
+        bit-identical to simulated ones, so results are unaffected.
     """
 
     def __init__(self, jobs: int = 1, cache_dir=None,
@@ -467,10 +572,20 @@ class SweepExecutor:
         Identical points (same cache key, hence provably the same
         deterministic result) are computed once and shared.
         """
-        if self.warmup_cache_dir is None:
+        warm_dir = self.warmup_cache_dir
+        ephemeral = None
+        if (warm_dir is None and self.jobs > 1
+                and not os.environ.get(WARMUP_CACHE_ENV)):
+            # Parallel mode carries its own warm-up sharing: workers
+            # fork after the parent prewarms one checkpoint per shared
+            # warm-up state (see _prewarm) instead of each worker
+            # re-simulating it.
+            ephemeral = tempfile.mkdtemp(prefix="repro-warm-")
+            warm_dir = ephemeral
+        if warm_dir is None:
             return self._run(points)
         previous = os.environ.get(WARMUP_CACHE_ENV)
-        os.environ[WARMUP_CACHE_ENV] = self.warmup_cache_dir
+        os.environ[WARMUP_CACHE_ENV] = warm_dir
         try:
             return self._run(points)
         finally:
@@ -478,6 +593,9 @@ class SweepExecutor:
                 os.environ.pop(WARMUP_CACHE_ENV, None)
             else:
                 os.environ[WARMUP_CACHE_ENV] = previous
+            if ephemeral is not None:
+                drop_warmup_cache(ephemeral)
+                shutil.rmtree(ephemeral, ignore_errors=True)
 
     def _run(self, points: Sequence[SweepPoint]) -> List[Any]:
         t0 = time.monotonic()
@@ -547,110 +665,225 @@ class SweepExecutor:
 
     # -- parallel path -------------------------------------------------
 
+    def _prewarm(self, indices: List[int],
+                 points: List[SweepPoint]) -> None:
+        """Simulate shared warm-up snapshots in the parent, pre-fork.
+
+        Only warm-up states that more than one pending point restores
+        are worth producing here (a one-off warm-up costs the same
+        either way, and in a worker it runs in parallel).  For shared
+        states the parent pays once and every forked worker inherits
+        the parsed snapshot through copy-on-write memory — without
+        this, each worker re-simulates or re-parses the same warm-up.
+        Failures are left for the workers to surface with a proper
+        point-naming verdict.
+        """
+        if not os.environ.get(WARMUP_CACHE_ENV):
+            return
+        counts: Dict[Any, int] = {}
+        for i in indices:
+            signature = _warm_signature(points[i])
+            if signature is not None:
+                counts[signature] = counts.get(signature, 0) + 1
+        prewarmed = set()
+        for i in indices:
+            signature = _warm_signature(points[i])
+            if (signature is None or counts[signature] < 2
+                    or signature in prewarmed):
+                continue
+            prewarmed.add(signature)
+            try:
+                prewarm_point(points[i])
+            except Exception:
+                pass
+
     def _run_parallel(self, indices: List[int],
                       points: List[SweepPoint]) -> Dict[int, dict]:
-        """Process-pool scheduler with timeout, retry, and fallback."""
+        """Persistent-worker scheduler with timeout, retry, fallback.
+
+        Workers fork after :meth:`_prewarm` and stay alive across
+        points; each dispatch hands a worker a batch of points, and the
+        worker reports one message per batch (plus a tiny start marker
+        per point, which drives the per-point timeout clock).
+        """
+        self._prewarm(indices, points)
         ctx = self._ctx
         result_queue = ctx.Queue()
         out: Dict[int, dict] = {}
         work = deque((i, 0) for i in indices)           # (index, attempt)
-        running: Dict[int, list] = {}                   # index -> state
+        # worker id -> [proc, task_q, unreported {index: attempt},
+        #               in-flight index or None, deadline]
+        workers: Dict[int, list] = {}
+        next_wid = [0]
+        batch_size = max(1, len(indices) // (self.jobs * 2))
 
-        def launch(index: int, attempt: int) -> None:
-            proc = ctx.Process(target=_worker_main,
-                               args=(result_queue, index, points[index]),
+        def spawn() -> None:
+            wid = next_wid[0]
+            next_wid[0] += 1
+            task_q = ctx.Queue()
+            proc = ctx.Process(target=_persistent_worker_main,
+                               args=(task_q, result_queue, wid),
                                daemon=True)
             proc.start()
-            running[index] = [proc, time.monotonic() + self.timeout_s,
-                              attempt]
+            workers[wid] = [proc, task_q, {}, None, 0.0]
 
-        def reap(index: int) -> None:
-            entry = running.pop(index, None)
-            if entry is not None:
-                entry[0].join(timeout=5.0)
+        def dispatch(wid: int) -> None:
+            state = workers[wid]
+            batch = []
+            while work and len(batch) < batch_size:
+                index, attempt = work.popleft()
+                if index in out:     # satisfied by a late message
+                    continue
+                state[2][index] = attempt
+                batch.append((index, points[index]))
+            if batch:
+                state[3] = None
+                state[4] = time.monotonic() + self.timeout_s
+                state[1].put(batch)
+
+        def kill(wid: int) -> None:
+            state = workers.pop(wid)
+            proc = state[0]
+            if proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=5.0)
+
+        def rebuild() -> None:
+            # A worker that dies (or is terminated) mid-``put`` can take
+            # the result queue's shared write lock with it, blocking
+            # every surviving worker's reports forever.  So any abnormal
+            # worker exit treats the queue as poisoned: stop the whole
+            # pool, requeue its unreported work at the current attempts,
+            # and start over with a fresh queue.  Deterministic
+            # simulations make re-execution safe, and crashes are rare
+            # enough that the redone work is noise.
+            nonlocal result_queue
+            for state in workers.values():
+                if state[0].is_alive():
+                    state[0].terminate()
+            for state in workers.values():
+                state[0].join(timeout=5.0)
+            self._drain(result_queue, handle_message)
+            for state in workers.values():
+                requeue_survivors(state)
+            workers.clear()
+            result_queue = ctx.Queue()
+
+        def handle_message(kind: str, wid: int, payload: Any) -> None:
+            state = workers.get(wid)   # None for late/killed workers
+            if kind == "start":
+                if state is not None:
+                    state[3] = payload
+                    state[4] = time.monotonic() + self.timeout_s
+                return
+            for index, status, data in payload:
+                if state is not None:
+                    state[2].pop(index, None)
+                if status == "ok":
+                    out[index] = data
+                elif status == "invariant":
+                    raise SweepInvariantError(points[index], data)
+                else:
+                    raise SweepPointError(points[index], data)
+            if state is not None:
+                state[3] = None
+
+        def requeue_survivors(state: list) -> None:
+            for index, attempt in state[2].items():
+                if index not in out:
+                    work.append((index, attempt))
+
+        def pop_victim(state: list):
+            """The task the failure is charged to: the in-flight point
+            if known, else the batch's first unreported task."""
+            victim = state[3] if state[3] in state[2] \
+                else next(iter(state[2]))
+            return victim, state[2].pop(victim)
 
         def shutdown() -> None:
-            for proc, _deadline, _attempt in running.values():
-                if proc.is_alive():
-                    proc.terminate()
-            for proc, _deadline, _attempt in running.values():
-                proc.join(timeout=5.0)
-            running.clear()
+            for state in workers.values():
+                try:
+                    state[1].put_nowait(None)
+                except Exception:
+                    pass
+            for state in workers.values():
+                state[0].join(timeout=0.5)
+                if state[0].is_alive():
+                    state[0].terminate()
+            for state in workers.values():
+                state[0].join(timeout=5.0)
+            workers.clear()
 
         try:
-            while work or running:
-                while work and len(running) < self.jobs:
-                    index, attempt = work.popleft()
-                    launch(index, attempt)
+            while work or any(state[2] for state in workers.values()):
+                while work and len(workers) < self.jobs:
+                    spawn()
+                for wid in list(workers):
+                    if work and not workers[wid][2]:
+                        dispatch(wid)
 
                 try:
-                    index, status, payload = result_queue.get(timeout=0.05)
+                    kind, wid, payload = result_queue.get(timeout=0.05)
                 except queue_lib.Empty:
                     pass
                 else:
-                    reap(index)
-                    if status == "ok":
-                        out[index] = payload
-                    elif status == "invariant":
-                        raise SweepInvariantError(points[index], payload)
-                    else:
-                        raise SweepPointError(points[index], payload)
+                    handle_message(kind, wid, payload)
                     continue
 
                 now = time.monotonic()
-                for index in list(running):
-                    proc, deadline, attempt = running[index]
-                    if not proc.is_alive():
-                        # Dead without a queued result: give any buffered
-                        # message one chance to drain, then treat as a
-                        # crash.
+                for wid in list(workers):
+                    state = workers[wid]
+                    if not state[2]:
+                        continue       # idle, nothing to account for
+                    if not state[0].is_alive():
+                        # Dead mid-batch without reporting: give any
+                        # buffered message one chance to drain, then
+                        # treat what remains as a crash.
                         time.sleep(0.05)
-                        self._drain(result_queue, out, points)
-                        reap(index)
-                        if index in out:
+                        self._drain(result_queue, handle_message)
+                        if not state[2]:
+                            kill(wid)  # it reported everything first
                             continue
+                        victim, attempt = pop_victim(state)
                         self.stats.crashes += 1
+                        rebuild()
                         if attempt < self.max_retries:
                             self.stats.retries += 1
-                            work.append((index, attempt + 1))
+                            work.append((victim, attempt + 1))
                         else:
-                            # Graceful fallback: the pool environment may
-                            # be the problem; run the point here.
+                            # Graceful fallback: the pool environment
+                            # may be the problem; run the point here.
                             self.stats.serial_fallbacks += 1
-                            out[index] = self._execute_in_process(
-                                points[index])
-                    elif now > deadline:
-                        proc.terminate()
-                        reap(index)
+                            out[victim] = self._execute_in_process(
+                                points[victim])
+                        break          # pool rebuilt; rescan fresh
+                    elif now > state[4]:
+                        victim, attempt = pop_victim(state)
                         self.stats.timeouts += 1
+                        rebuild()
                         if attempt < self.max_retries:
                             self.stats.retries += 1
-                            work.append((index, attempt + 1))
+                            work.append((victim, attempt + 1))
                         else:
                             raise SweepTimeoutError(
-                                points[index],
+                                points[victim],
                                 f"no result within {self.timeout_s:.1f}s "
                                 f"after {attempt + 1} attempt(s)")
+                        break          # pool rebuilt; rescan fresh
         finally:
             shutdown()
         return out
 
-    def _drain(self, result_queue, out: Dict[int, dict],
-               points: List[SweepPoint]) -> bool:
-        """Pull any queued results without blocking; True if any arrived."""
-        drained = False
+    def _drain(self, result_queue, handle_message) -> None:
+        """Deliver any queued messages without blocking."""
         while True:
             try:
-                index, status, payload = result_queue.get_nowait()
+                kind, wid, payload = result_queue.get_nowait()
             except queue_lib.Empty:
-                return drained
-            if status == "ok":
-                out[index] = payload
-                drained = True
-            elif status == "invariant":
-                raise SweepInvariantError(points[index], payload)
-            else:
-                raise SweepPointError(points[index], payload)
+                return
+            handle_message(kind, wid, payload)
+
+
 
 
 def run_points(points: Sequence[SweepPoint], jobs: int = 1,

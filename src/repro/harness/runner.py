@@ -199,6 +199,46 @@ def _fixed_load_plan(config: SystemConfig, packet_size: int, echoes: bool,
     )
 
 
+def prewarm_fixed_load(config: SystemConfig, app_name: str,
+                       packet_size: int,
+                       app_options: Optional[dict] = None,
+                       warmup_us: Optional[float] = None,
+                       seed: int = 0,
+                       warmup_cache: Optional[WarmupCache] = None) -> bool:
+    """Populate the warm-up checkpoint cache for a fixed-rate run without
+    running a measured window.
+
+    Exactly the warm-up block of :func:`run_fixed_load` (same key, same
+    plan, same checkpoint metadata), stopped right after the snapshot is
+    sealed.  The persistent-worker sweep executor calls this in the
+    *parent* before forking workers: the snapshot lands in the shared
+    :class:`~repro.harness.warmup_cache.WarmupCache` memo, so every
+    forked worker inherits the parsed document through copy-on-write
+    memory instead of racing to simulate (or re-read) it per point.
+
+    Returns True when a fresh snapshot was simulated and stored, False
+    on a cache hit or when no cache is configured.
+    """
+    cache = warmup_cache if warmup_cache is not None \
+        else warmup_cache_from_env()
+    if cache is None:
+        return False
+    node = build_node(config, app_name, app_options, seed=seed)
+    node.attach_loadgen()
+    _node_class, _app_class, echoes = APP_REGISTRY[app_name]
+    plan = _fixed_load_plan(config, packet_size, echoes, warmup_us)
+    key = warmup_key(config, app_name, packet_size, app_options, plan,
+                     seed, node.sim.tracer._options_signature())
+    if cache.get(key) is not None:
+        return False
+    node.start()
+    node.warmup_and_reset(plan)
+    cache.put(key, node.checkpoint(
+        extra_meta={"phase": "warmup", "packet_size": packet_size}))
+    cache.get(key)   # validated read-back seeds the in-memory memo
+    return True
+
+
 def run_fixed_load(config: SystemConfig, app_name: str, packet_size: int,
                    gbps: float, n_packets: int = 2000,
                    app_options: Optional[dict] = None,
@@ -369,6 +409,60 @@ def _memcached_plan(config: SystemConfig) -> WarmupPlan:
         warm_requests=CANONICAL_WARM_REQUESTS,
         warm_rate_rps=CANONICAL_WARM_RPS,
     )
+
+
+def prewarm_memcached(config: SystemConfig, kernel: bool,
+                      client_config: Optional[MemcachedClientConfig] = None,
+                      seed: int = 0,
+                      warmup_cache: Optional[WarmupCache] = None) -> bool:
+    """Populate the warm-up checkpoint cache for a memcached run.
+
+    The counterpart of :func:`prewarm_fixed_load`: the warm-up block of
+    :func:`run_memcached` without the measured request phase.  The warm
+    key excludes the measured rate and request count, so the attached
+    client here runs at the canonical warm-up rate — any later measured
+    rate restores the same snapshot.
+
+    Returns True when a fresh snapshot was simulated and stored, False
+    on a cache hit or when no cache is configured.
+    """
+    cache = warmup_cache if warmup_cache is not None \
+        else warmup_cache_from_env()
+    if cache is None:
+        return False
+    app_name = "memcached_kernel" if kernel else "memcached_dpdk"
+    base = client_config or MemcachedClientConfig()
+    node = build_node(config, app_name, seed=seed)
+    client = node.attach_memcached_client(MemcachedClientConfig(
+        n_warm_keys=base.n_warm_keys,
+        n_requests=CANONICAL_WARM_REQUESTS,
+        get_fraction=base.get_fraction,
+        size_min=base.size_min,
+        size_max=base.size_max,
+        size_skew=base.size_skew,
+        rate_rps=CANONICAL_WARM_RPS,
+        distribution=base.distribution,
+    ))
+    plan = _memcached_plan(config)
+    warm_options = {"client": {
+        "n_warm_keys": base.n_warm_keys,
+        "get_fraction": base.get_fraction,
+        "size_min": base.size_min,
+        "size_max": base.size_max,
+        "size_skew": base.size_skew,
+        "distribution": base.distribution,
+    }}
+    key = warmup_key(config, app_name, 0, warm_options, plan, seed,
+                     node.sim.tracer._options_signature())
+    if cache.get(key) is not None:
+        return False
+    client.preload(node.app.store)
+    node.start()
+    node.warmup_and_reset(plan)
+    cache.put(key, node.checkpoint(
+        extra_meta={"phase": "warmup", "kernel": kernel}))
+    cache.get(key)   # validated read-back seeds the in-memory memo
+    return True
 
 
 def run_memcached(config: SystemConfig, kernel: bool, rate_rps: float,

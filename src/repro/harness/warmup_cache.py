@@ -75,7 +75,21 @@ def warmup_key(config: SystemConfig, app: str, packet_size: int,
 
 
 class WarmupCache:
-    """One sealed checkpoint file per warm-up state, named by its key."""
+    """One sealed checkpoint file per warm-up state, named by its key.
+
+    Entries are additionally memoized in memory: within one process a
+    warm-up snapshot is parsed (and digest-verified) from disk at most
+    once.  Only a *validated disk read* populates the memo — a plain
+    :meth:`put` does not — so corruption injected into the file before
+    the first read is still detected.  The persistent-worker sweep
+    executor leans on the memo: the parent *prewarms* it before forking
+    workers, so every worker inherits the already-loaded snapshots
+    through copy-on-write fork memory instead of re-reading (and
+    re-verifying) them per sweep point.
+
+    Checkpoint documents are treated as immutable once sealed; restore
+    paths only read them, so sharing one dict across runs is safe.
+    """
 
     def __init__(self, root) -> None:
         self.root = Path(root)
@@ -84,6 +98,7 @@ class WarmupCache:
         self.misses = 0
         self.saves = 0
         self.corrupt_entries = 0
+        self._memo: Dict[str, dict] = {}
 
     def path_for(self, key: str) -> Path:
         return self.root / f"warmup-{key}.json"
@@ -95,6 +110,10 @@ class WarmupCache:
         is deleted and reported as a miss, so the caller falls back to
         simulating the warm-up and then overwrites the entry.
         """
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            self.hits += 1
+            return memoized
         path = self.path_for(key)
         if not path.exists():
             self.misses += 1
@@ -110,20 +129,41 @@ class WarmupCache:
                 pass
             return None
         self.hits += 1
+        self._memo[key] = document
         return document
 
     def put(self, key: str, document: dict) -> None:
-        """Atomically store one sealed checkpoint."""
+        """Atomically store one sealed checkpoint.
+
+        Deliberately does *not* memoize: the memo only ever holds
+        copies that passed the on-disk digest check, so tests (and
+        operators) that corrupt an entry behind the cache's back still
+        see the corruption detected on the next read."""
         save_checkpoint(document, str(self.path_for(key)))
         self.saves += 1
 
     def discard(self, key: str) -> None:
         """Drop an entry that failed to restore (schema drift survives
         the digest check when the writer was a different code version)."""
+        self._memo.pop(key, None)
         try:
             self.path_for(key).unlink()
         except OSError:
             pass
+
+
+#: Per-directory singletons handed out by :func:`warmup_cache_from_env`,
+#: so repeated harness calls in one process (and forked sweep workers)
+#: share a single in-memory memo per cache directory.
+_caches_by_root: Dict[str, WarmupCache] = {}
+
+
+def drop_warmup_cache(root) -> None:
+    """Evict the per-directory singleton (and its memo) for ``root``.
+
+    Callers that provision ephemeral cache directories use this to free
+    the memoized snapshots when the directory is deleted."""
+    _caches_by_root.pop(str(Path(root).resolve()), None)
 
 
 def warmup_cache_from_env() -> Optional[WarmupCache]:
@@ -133,8 +173,15 @@ def warmup_cache_from_env() -> Optional[WarmupCache]:
     executor/CLI exports the variable and every
     :func:`repro.harness.runner.run_fixed_load` /
     :func:`~repro.harness.runner.run_memcached` call picks it up.
+    Returns one :class:`WarmupCache` instance per directory so the
+    in-memory memo is shared across calls.
     """
     root = os.environ.get(WARMUP_CACHE_ENV)
     if not root:
         return None
-    return WarmupCache(root)
+    resolved = str(Path(root).resolve())
+    cache = _caches_by_root.get(resolved)
+    if cache is None:
+        cache = WarmupCache(root)
+        _caches_by_root[resolved] = cache
+    return cache

@@ -88,8 +88,14 @@ class SetAssocCache:
     # -- probes -------------------------------------------------------------
 
     def lookup(self, addr: int, update_lru: bool = True) -> bool:
-        """Probe for ``addr``; updates hit/miss counters and LRU order."""
-        index, tag = self._index_tag(addr)
+        """Probe for ``addr``; updates hit/miss counters and LRU order.
+
+        ``_index_tag`` is inlined here: this is the hottest function in a
+        packet-processing run (every core access probes two or three
+        cache levels).
+        """
+        tag = addr >> self._line_shift
+        index = tag % self._num_sets
         cset = self._core_sets[index]
         if tag in cset:
             self.hits += 1
@@ -143,14 +149,22 @@ class SetAssocCache:
         return evicted
 
     def invalidate(self, addr: int) -> bool:
-        """Drop the line holding ``addr`` if present; True if it was."""
-        index, tag = self._index_tag(addr)
-        if tag in self._core_sets[index]:
-            del self._core_sets[index][tag]
+        """Drop the line holding ``addr`` if present; True if it was.
+
+        Like ``lookup``, inlines ``_index_tag`` — DMA writes invalidate
+        every inner level per line, so this runs per DMA'd cache line.
+        """
+        tag = addr >> self._line_shift
+        index = tag % self._num_sets
+        cset = self._core_sets[index]
+        if tag in cset:
+            del cset[tag]
             return True
-        if self._io_sets is not None and tag in self._io_sets[index]:
-            del self._io_sets[index][tag]
-            return True
+        if self._io_sets is not None:
+            ioset = self._io_sets[index]
+            if tag in ioset:
+                del ioset[tag]
+                return True
         return False
 
     def flush(self) -> None:

@@ -32,13 +32,34 @@ LEVEL_LLC = "llc"
 LEVEL_DRAM = "dram"
 
 
-@dataclass(frozen=True)
 class AccessResult:
-    """Cost of one core memory access."""
+    """Cost of one core memory access.
 
-    level: str          # which level serviced it
-    cycles: int         # cache pipeline cycles (core clock domain)
-    dram_ns: float      # DRAM portion, nanoseconds (zero for cache hits)
+    Slotted and treated as immutable: ``core_access`` is called once per
+    simulated load/store/fetch (tens of thousands of times per short
+    run), and cache-hit results are shared singletons — the cost of a
+    hit at each level is a pure function of the configured latencies.
+    """
+
+    __slots__ = ("level", "cycles", "dram_ns")
+
+    def __init__(self, level: str, cycles: int, dram_ns: float) -> None:
+        self.level = level          # which level serviced it
+        self.cycles = cycles        # cache pipeline cycles (core clock)
+        self.dram_ns = dram_ns      # DRAM portion, ns (zero for hits)
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not AccessResult:
+            return NotImplemented
+        return (self.level, self.cycles, self.dram_ns) == \
+               (other.level, other.cycles, other.dram_ns)
+
+    def __hash__(self) -> int:
+        return hash((self.level, self.cycles, self.dram_ns))
+
+    def __repr__(self) -> str:
+        return (f"AccessResult(level={self.level!r}, "
+                f"cycles={self.cycles!r}, dram_ns={self.dram_ns!r})")
 
 
 @dataclass(frozen=True)
@@ -89,6 +110,24 @@ class MemoryHierarchy:
         self.dma_lines_read = 0
         self.dma_llc_hits = 0       # TX reads served from LLC
         self.dma_leaked_lines = 0   # io-partition lines evicted by later DMA
+        # Shared hit-cost singletons: the dominant core_access outcomes
+        # allocate nothing.
+        l2_cyc = cfg.l2.latency_cycles
+        llc_cyc = cfg.llc.latency_cycles
+        self._hit_l1i = AccessResult(LEVEL_L1, cfg.l1i.latency_cycles, 0.0)
+        self._hit_l1d = AccessResult(LEVEL_L1, cfg.l1d.latency_cycles, 0.0)
+        self._hit_l2 = {
+            True: AccessResult(LEVEL_L2,
+                               cfg.l1i.latency_cycles + l2_cyc, 0.0),
+            False: AccessResult(LEVEL_L2,
+                                cfg.l1d.latency_cycles + l2_cyc, 0.0),
+        }
+        self._hit_llc = {
+            True: AccessResult(
+                LEVEL_LLC, cfg.l1i.latency_cycles + l2_cyc + llc_cyc, 0.0),
+            False: AccessResult(
+                LEVEL_LLC, cfg.l1d.latency_cycles + l2_cyc + llc_cyc, 0.0),
+        }
 
     # ------------------------------------------------------------------
     # Core-side accesses
@@ -101,19 +140,16 @@ class MemoryHierarchy:
         cfg = self.config
         l1 = self.l1i if is_instr else self.l1d
         if l1.lookup(addr):
-            return AccessResult(LEVEL_L1, l1.config.latency_cycles, 0.0)
-        cycles = l1.config.latency_cycles
+            return self._hit_l1i if is_instr else self._hit_l1d
         if self.l2.lookup(addr):
-            cycles += cfg.l2.latency_cycles
             self._fill_l1(l1, addr)
-            return AccessResult(LEVEL_L2, cycles, 0.0)
-        cycles += cfg.l2.latency_cycles
+            return self._hit_l2[is_instr]
         if self.llc.lookup(addr):
-            cycles += cfg.llc.latency_cycles
             self._fill_l2(addr)
             self._fill_l1(l1, addr)
-            return AccessResult(LEVEL_LLC, cycles, 0.0)
-        cycles += cfg.llc.latency_cycles
+            return self._hit_llc[is_instr]
+        cycles = (l1.config.latency_cycles + cfg.l2.latency_cycles
+                  + cfg.llc.latency_cycles)
         dram_ns = (self.dram.access(addr, now_ns, is_write=is_write)
                    + cfg.core_dram_extra_ns)
         self._fill_llc(addr)

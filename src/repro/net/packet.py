@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 ETHER_HEADER_LEN = 14       # dst(6) + src(6) + ethertype/len(2)
@@ -66,7 +66,6 @@ class MacAddress:
 BROADCAST_MAC = MacAddress((1 << 48) - 1)
 
 
-@dataclass
 class Packet:
     """An Ethernet frame on the simulated wire.
 
@@ -74,28 +73,58 @@ class Packet:
     occupies wire bandwidth and NIC FIFO space).  ``data`` is the optional
     payload after the 14-byte Ethernet header; when absent the packet is a
     pure timing token.
+
+    Hand-written rather than a dataclass so the fields can live in
+    ``__slots__`` — packets are the single most-allocated object in a run
+    and the per-instance dict dominated their footprint.  The constructor
+    signature, validation and equality semantics match the previous
+    dataclass exactly.
     """
 
-    wire_len: int
-    dst: MacAddress = field(default=BROADCAST_MAC)
-    src: MacAddress = field(default=BROADCAST_MAC)
-    ethertype: int = ETHERTYPE_EXPERIMENTAL
-    data: Optional[bytes] = None
-    ts_tx: Optional[int] = None     # loadgen departure tick
-    ts_offset: int = 0              # byte offset of the timestamp field
-    request_id: Optional[int] = None
-    meta: Dict[str, object] = field(default_factory=dict)
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = ("wire_len", "dst", "src", "ethertype", "data", "ts_tx",
+                 "ts_offset", "request_id", "meta", "packet_id")
 
-    def __post_init__(self) -> None:
-        if self.wire_len < ETHER_MIN_FRAME:
+    def __init__(self, wire_len: int,
+                 dst: MacAddress = BROADCAST_MAC,
+                 src: MacAddress = BROADCAST_MAC,
+                 ethertype: int = ETHERTYPE_EXPERIMENTAL,
+                 data: Optional[bytes] = None,
+                 ts_tx: Optional[int] = None,
+                 ts_offset: int = 0,
+                 request_id: Optional[int] = None,
+                 meta: Optional[Dict[str, object]] = None,
+                 packet_id: Optional[int] = None) -> None:
+        if wire_len < ETHER_MIN_FRAME:
             raise ValueError(
-                f"frame of {self.wire_len}B below Ethernet minimum "
+                f"frame of {wire_len}B below Ethernet minimum "
                 f"{ETHER_MIN_FRAME}B")
-        if self.wire_len > ETHER_MAX_FRAME:
+        if wire_len > ETHER_MAX_FRAME:
             raise ValueError(
-                f"frame of {self.wire_len}B above Ethernet maximum "
+                f"frame of {wire_len}B above Ethernet maximum "
                 f"{ETHER_MAX_FRAME}B")
+        self.wire_len = wire_len
+        self.dst = dst
+        self.src = src
+        self.ethertype = ethertype
+        self.data = data
+        self.ts_tx = ts_tx              # loadgen departure tick
+        self.ts_offset = ts_offset      # byte offset of the timestamp field
+        self.request_id = request_id
+        self.meta = {} if meta is None else meta
+        self.packet_id = (next(_packet_ids) if packet_id is None
+                          else packet_id)
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not Packet:
+            return NotImplemented
+        return (self.wire_len, self.dst, self.src, self.ethertype,
+                self.data, self.ts_tx, self.ts_offset, self.request_id,
+                self.meta, self.packet_id) == \
+               (other.wire_len, other.dst, other.src, other.ethertype,
+                other.data, other.ts_tx, other.ts_offset, other.request_id,
+                other.meta, other.packet_id)
+
+    __hash__ = None   # mutable, like the dataclass it replaces
 
     @property
     def payload_len(self) -> int:

@@ -21,7 +21,6 @@ engine reads and transmits them.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, List, Optional
 
 from repro.mem.address import Region
@@ -31,13 +30,33 @@ from repro.sim.checkpoint import CheckpointError
 DESC_SIZE = 16   # legacy e1000 descriptor: 16 bytes
 
 
-@dataclass
 class RxDescriptor:
-    """A filled RX descriptor: which buffer holds which packet."""
+    """A filled RX descriptor: which buffer holds which packet.
 
-    index: int
-    buffer_addr: int
-    packet: Packet
+    Slotted (one instance per received packet) with dataclass-style
+    equality for tests that compare descriptors structurally.
+    """
+
+    __slots__ = ("index", "buffer_addr", "packet")
+
+    def __init__(self, index: int, buffer_addr: int,
+                 packet: Packet) -> None:
+        self.index = index
+        self.buffer_addr = buffer_addr
+        self.packet = packet
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is not RxDescriptor:
+            return NotImplemented
+        return (self.index, self.buffer_addr, self.packet) == \
+               (other.index, other.buffer_addr, other.packet)
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return (f"RxDescriptor(index={self.index!r}, "
+                f"buffer_addr={self.buffer_addr!r}, "
+                f"packet={self.packet!r})")
 
 
 class DescriptorRing:

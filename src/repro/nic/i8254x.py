@@ -30,6 +30,7 @@ from repro.nic.phy import EtherPort
 from repro.net.packet import Packet
 from repro.pci.config_space import PciQuirks
 from repro.pci.device import PciDevice
+from repro.sim.event_queue import EventPool, batching_enabled
 from repro.sim.ports import KIND_DMA, KIND_DRIVER, RequestPort, ResponsePort
 from repro.sim.simobject import SimObject, Simulation
 from repro.sim.ticks import us_to_ticks
@@ -157,6 +158,20 @@ class I8254xNic(SimObject, PciDevice):
         self._itr_event = self.make_event(self._itr_window_closed, "itr")
         self._itr_pending = 0
         self._last_notify_tick = -(1 << 62)
+
+        # Pooled one-shot completion events for the per-packet DMA paths.
+        # Recycled events with precomputed names replace a fresh
+        # Event + closure + f-string allocation per packet; scheduling
+        # still goes through EventQueue.schedule, so firing order (and
+        # trace digests) is identical to the unpooled reference path
+        # (REPRO_EVENT_BATCH=0).
+        self._event_pools = batching_enabled()
+        self._rx_done_pool = EventPool(self._after_rx_dma,
+                                       f"{name}.rx_dma_done")
+        self._tx_done_pool = EventPool(self._after_tx_dma,
+                                       f"{name}.tx_dma_done")
+        self._rx_wb_pool = EventPool(self._notify_rx,
+                                     f"{name}.rx_writeback")
 
         # Statistics.
         self.stat_rx_packets = self.stats.counter("rxPackets")
@@ -405,11 +420,14 @@ class I8254xNic(SimObject, PciDevice):
             self.trace("dma", "rx_write", bytes=packet.wire_len,
                        addr=buffer_addr, finish=finish)
         # Writeback decision is evaluated once the data DMA lands.
-        self.sim.events.call_at(finish, self._after_rx_dma,
-                                name=f"{self.name}.rx_dma_done")
+        if self._event_pools:
+            self._rx_done_pool.schedule_at(self.sim.events, finish)
+        else:
+            self.sim.events.call_at(finish, self._after_rx_dma,
+                                    name=f"{self.name}.rx_dma_done")
         self._kick_rx()
 
-    def _after_rx_dma(self) -> None:
+    def _after_rx_dma(self, _payload=None) -> None:
         if self.rx_ring.writeback_due:
             self._do_writeback(self.now)
         elif (self.rx_ring.pending_writeback_count
@@ -434,9 +452,12 @@ class I8254xNic(SimObject, PciDevice):
             self.trace("nic", "writeback", count=len(batch), finish=finish)
         if self.rx_notify is not None:
             count = len(batch)
-            self.sim.events.call_at(
-                finish, lambda c=count: self._notify_rx(c),
-                name=f"{self.name}.rx_writeback")
+            if self._event_pools:
+                self._rx_wb_pool.schedule_at(self.sim.events, finish, count)
+            else:
+                self.sim.events.call_at(
+                    finish, lambda c=count: self._notify_rx(c),
+                    name=f"{self.name}.rx_writeback")
 
     def _notify_rx(self, count: int) -> None:
         if self._itr_ticks:
@@ -474,9 +495,12 @@ class I8254xNic(SimObject, PciDevice):
         if self.sim.tracer.enabled:
             self.trace("dma", "tx_read", bytes=packet.wire_len,
                        addr=buffer_addr, finish=finish)
-        self.sim.events.call_at(
-            finish, lambda p=packet: self._after_tx_dma(p),
-            name=f"{self.name}.tx_dma_done")
+        if self._event_pools:
+            self._tx_done_pool.schedule_at(self.sim.events, finish, packet)
+        else:
+            self.sim.events.call_at(
+                finish, lambda p=packet: self._after_tx_dma(p),
+                name=f"{self.name}.tx_dma_done")
         self._kick_tx()
 
     def _after_tx_dma(self, packet: Packet) -> None:

@@ -12,6 +12,7 @@ from typing import Callable, Optional
 
 from repro.net.packet import Packet
 from repro.sim.checkpoint import CheckpointError
+from repro.sim.event_queue import EventPool, batching_enabled
 from repro.sim.ports import PacketPort
 from repro.sim.simobject import SimObject, Simulation
 
@@ -79,6 +80,11 @@ class EtherLink(SimObject):
         self._delivered = {"a": 0, "b": 0}
         self.stat_frames = self.stats.counter("frames", "frames carried")
         self.stat_bytes = self.stats.counter("bytes", "bytes carried")
+        # Pooled per-frame delivery events (see EventPool): same firing
+        # order as the closure-per-frame reference path, no allocation.
+        self._event_pools = batching_enabled()
+        self._deliver_pool = EventPool(self._deliver_pooled,
+                                       f"{name}.deliver")
 
     def connect(self, port_a: EtherPort, port_b: EtherPort) -> None:
         """Attach the two endpoint ports to this link.
@@ -163,6 +169,11 @@ class EtherLink(SimObject):
         self._in_flight[direction] += 1
         deliver_at = finish + self.delay_ticks
 
+        if self._event_pools:
+            self._deliver_pool.schedule_at(self.sim.events, deliver_at,
+                                           (packet, dst, direction))
+            return
+
         def _deliver(p=packet, d=dst, direc=direction):
             self._in_flight[direc] -= 1
             self._delivered[direc] += 1
@@ -170,6 +181,12 @@ class EtherLink(SimObject):
 
         self.sim.events.call_at(deliver_at, _deliver,
                                 name=f"{self.name}.deliver")
+
+    def _deliver_pooled(self, payload) -> None:
+        packet, dst, direction = payload
+        self._in_flight[direction] -= 1
+        self._delivered[direction] += 1
+        dst.deliver(packet)
 
     # -- checkpoint support --------------------------------------------------
 

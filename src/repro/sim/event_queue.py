@@ -4,14 +4,43 @@ Events are (tick, priority, sequence) ordered: ties on tick are broken by
 priority (lower first) and then by insertion order, which makes simulations
 fully deterministic for a fixed seed and schedule order — the property gem5
 guarantees and that reproducible experiments depend on.
+
+Two hot-path mechanisms keep the queue cheap without changing that order:
+
+- a **same-tick FIFO run queue**: events scheduled at the current tick with
+  default priority skip the heap entirely.  A newly scheduled event always
+  has a larger sequence number than everything already pending, so a plain
+  append keeps the FIFO sorted by the global (tick, priority, seq) key and
+  the run loop only has to compare the two queue heads.
+- :class:`EventPool`: a free-list of reusable one-shot events sharing one
+  precomputed name and dispatch callback, replacing per-packet ``call_at``
+  allocations.  Sequence numbers are assigned at ``schedule()`` time, so a
+  pooled event scheduled at the same call site sorts identically to a
+  freshly constructed one — firing order (and hence trace digests) is
+  bit-identical either way.
+
+Setting ``REPRO_EVENT_BATCH=0`` disables both and restores the reference
+one-fresh-event-per-packet pure-heap path; the equivalence suite in
+``tests/perf`` checks the two paths produce identical results.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from typing import Callable, Dict, List, Optional
 
 from repro.sim.checkpoint import CheckpointError
+
+
+def batching_enabled() -> bool:
+    """Whether the batched hot path (same-tick FIFO + event pools) is on.
+
+    Read once per component at construction time so a single simulation
+    never mixes the two paths mid-run.
+    """
+    return os.environ.get("REPRO_EVENT_BATCH", "1") != "0"
 
 
 class Event:
@@ -56,14 +85,68 @@ class Event:
         return f"<Event {self.name} {state}>"
 
 
+class _PooledEvent(Event):
+    """A reusable one-shot event owned by an :class:`EventPool`.
+
+    Carries its payload in a slot so no closure is allocated per
+    scheduling; returns itself to the pool's free list when it fires.
+    """
+
+    __slots__ = ("pool", "payload")
+
+    def __init__(self, pool: "EventPool") -> None:
+        super().__init__(self._fire, name=pool.name)
+        self.pool = pool
+        self.payload = None
+
+    def _fire(self) -> None:
+        payload = self.payload
+        self.payload = None
+        pool = self.pool
+        # Recycle before dispatch: the callback may immediately schedule
+        # another completion from the same pool and can reuse this object.
+        pool._free.append(self)
+        pool.dispatch(payload)
+
+
+class EventPool:
+    """A free-list of one-shot events sharing a dispatch callback and name.
+
+    Hot paths that used to allocate ``Event`` + closure + f-string name per
+    packet instead call :meth:`schedule_at` with the per-firing state as a
+    payload.  Recycled events are rescheduled through the normal
+    ``EventQueue.schedule`` path, so ordering is identical to fresh events.
+    """
+
+    __slots__ = ("_free", "dispatch", "name")
+
+    def __init__(self, dispatch: Callable, name: str) -> None:
+        self._free: List[_PooledEvent] = []
+        self.dispatch = dispatch   # called as dispatch(payload)
+        self.name = name
+
+    def schedule_at(self, queue: "EventQueue", when: int,
+                    payload=None) -> Event:
+        free = self._free
+        event = free.pop() if free else _PooledEvent(self)
+        event.payload = payload
+        return queue.schedule(event, when)
+
+
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
     def __init__(self) -> None:
         self._heap: List[tuple] = []
+        #: Same-tick run queue: entries scheduled at the current tick with
+        #: default priority.  Append-only while ``now`` holds still, which
+        #: keeps it sorted by (tick, priority, seq) by construction.
+        self._fifo: deque = deque()
+        self._use_fifo = batching_enabled()
         self._now = 0
         self._seq = 0
         self._fired = 0
+        self._live = 0
         #: Optional hook fired after every executed event callback.  Used
         #: by the invariant registry's strict mode; None (the default)
         #: costs one attribute read per event.
@@ -82,8 +165,7 @@ class EventQueue:
     @property
     def pending(self) -> int:
         """Number of live (not descheduled) events still queued."""
-        return sum(1 for entry in self._heap
-                   if entry[3]._scheduled and entry[4] == entry[3]._gen)
+        return self._live
 
     def schedule(self, event: Event, when: int) -> Event:
         """Schedule ``event`` at absolute tick ``when``.
@@ -99,10 +181,15 @@ class EventQueue:
             raise RuntimeError(f"{event!r} is already scheduled")
         event._when = when
         event._scheduled = True
-        event._seq = self._seq
-        self._seq += 1
-        heapq.heappush(self._heap,
-                       (when, event.priority, event._seq, event, event._gen))
+        seq = self._seq
+        event._seq = seq
+        self._seq = seq + 1
+        self._live += 1
+        if self._use_fifo and when == self._now and event.priority == 0:
+            self._fifo.append((when, 0, seq, event, event._gen))
+        else:
+            heapq.heappush(self._heap,
+                           (when, event.priority, seq, event, event._gen))
         return event
 
     def schedule_after(self, event: Event, delay: int) -> Event:
@@ -113,6 +200,8 @@ class EventQueue:
 
     def deschedule(self, event: Event) -> None:
         """Cancel a pending event.  Cancelling an idle event is a no-op."""
+        if event._scheduled:
+            self._live -= 1
         event._scheduled = False
         event._gen += 1
 
@@ -133,29 +222,50 @@ class EventQueue:
         """Convenience: wrap ``callback`` in a fresh event ``delay`` ticks out."""
         return self.schedule_after(Event(callback, name=name), delay)
 
+    def _drop_cancelled(self) -> None:
+        """Discard dead entries from both queue heads."""
+        fifo = self._fifo
+        while fifo:
+            entry = fifo[0]
+            event = entry[3]
+            if event._scheduled and entry[4] == event._gen:
+                break
+            fifo.popleft()
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event._scheduled and entry[4] == event._gen:
+                break
+            heapq.heappop(heap)
+
+    def _head(self) -> Optional[tuple]:
+        """The next live entry (not popped), or None."""
+        self._drop_cancelled()
+        fifo, heap = self._fifo, self._heap
+        if fifo and (not heap or fifo[0] < heap[0]):
+            return fifo[0]
+        return heap[0] if heap else None
+
     def peek(self) -> Optional[int]:
         """Tick of the next live event, or None if the queue is drained."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        return self._heap[0][0]
-
-    def _drop_cancelled(self) -> None:
-        while self._heap:
-            _when, _prio, _seq, event, gen = self._heap[0]
-            if event._scheduled and gen == event._gen:
-                return
-            heapq.heappop(self._heap)
+        head = self._head()
+        return head[0] if head is not None else None
 
     def step(self) -> bool:
         """Execute the next event.  Returns False if the queue is empty."""
-        self._drop_cancelled()
-        if not self._heap:
+        head = self._head()
+        if head is None:
             return False
-        when, _prio, _seq, event, _gen = heapq.heappop(self._heap)
+        if head is (self._fifo[0] if self._fifo else None):
+            self._fifo.popleft()
+        else:
+            heapq.heappop(self._heap)
+        when, _prio, _seq, event, _gen = head
         self._now = when
         event._scheduled = False
         event._gen += 1
+        self._live -= 1
         self._fired += 1
         event.callback()
         hook = self.on_event
@@ -172,17 +282,46 @@ class EventQueue:
         advanced to ``until`` so repeated bounded runs make progress.
         """
         budget = max_events if max_events is not None else -1
+        fifo, heap = self._fifo, self._heap
         while budget != 0:
-            self._drop_cancelled()
-            if not self._heap:
+            # Drop dead entries from both heads, then take the lesser.
+            while fifo:
+                entry = fifo[0]
+                event = entry[3]
+                if event._scheduled and entry[4] == event._gen:
+                    break
+                fifo.popleft()
+            while heap:
+                entry = heap[0]
+                event = entry[3]
+                if event._scheduled and entry[4] == event._gen:
+                    break
+                heapq.heappop(heap)
+            if fifo and (not heap or fifo[0] < heap[0]):
+                if until is not None and fifo[0][0] > until:
+                    self._now = until
+                    break
+                when, _prio, _seq, event, _gen = fifo.popleft()
+            elif heap:
+                if until is not None and heap[0][0] > until:
+                    self._now = until
+                    break
+                when, _prio, _seq, event, _gen = heapq.heappop(heap)
+            else:
                 break
-            if until is not None and self._heap[0][0] > until:
-                self._now = until
-                break
-            self.step()
+            self._now = when
+            event._scheduled = False
+            event._gen += 1
+            self._live -= 1
+            self._fired += 1
+            event.callback()
+            hook = self.on_event
+            if hook is not None:
+                hook(event)
             if budget > 0:
                 budget -= 1
-        if until is not None and self._now < until and not self._heap:
+        if until is not None and self._now < until \
+                and not heap and not fifo:
             self._now = until
         return self._now
 
@@ -192,6 +331,8 @@ class EventQueue:
         """Live (scheduled) events in firing order."""
         entries = [entry for entry in self._heap
                    if entry[3]._scheduled and entry[4] == entry[3]._gen]
+        entries.extend(entry for entry in self._fifo
+                       if entry[3]._scheduled and entry[4] == entry[3]._gen)
         return [entry[3] for entry in sorted(entries)]
 
     def serialize_state(self, names_by_event: Dict[int, str]) -> dict:
@@ -225,7 +366,7 @@ class EventQueue:
         the sequence counter is then advanced past its checkpointed value
         so events scheduled after restore sort behind restored ones.
         """
-        if self._heap or self._now or self._seq:
+        if self._heap or self._fifo or self._now or self._seq:
             raise CheckpointError(
                 "event queue restore requires a fresh (empty) queue")
         self._now = state["now"]

@@ -94,6 +94,10 @@ class InvariantRegistry:
         self._event_queue = event_queue
         self._checks: List[Tuple[str, CheckFn]] = []
         self._strict_checks: List[Tuple[str, CheckFn]] = []
+        #: Flat dispatch table for the per-event hook: just the strict
+        #: check functions, rebuilt on registration so the hot loop does
+        #: no tuple unpacking and no name handling on the success path.
+        self._strict_fns: List[CheckFn] = []
         self._names = set()
         self.events_checked = 0
         self.final_checks_run = 0
@@ -115,6 +119,7 @@ class InvariantRegistry:
         self._checks.append((name, check))
         if strict:
             self._strict_checks.append((name, check))
+            self._strict_fns.append(check)
 
     @property
     def names(self) -> List[str]:
@@ -154,9 +159,10 @@ class InvariantRegistry:
     def _on_event(self, event) -> None:
         """Event-queue hook: strict rules after every event callback."""
         self.events_checked += 1
-        for name, check in self._strict_checks:
+        for index, check in enumerate(self._strict_fns):
             result = check(False)
             if result:
+                name = self._strict_checks[index][0]
                 raise InvariantViolation(
                     self._collect(name, result),
                     tick=self._event_queue.now, phase="strict")

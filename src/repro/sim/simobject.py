@@ -158,7 +158,14 @@ class SimObject:
     - ``self.sim`` — the owning :class:`Simulation`
     - ``self.stats`` — a :class:`StatGroup` namespaced by the object name
     - scheduling helpers (``schedule_after`` etc.) bound to the shared queue
+
+    The base attributes are slotted so the hottest lookups
+    (``self.sim``, ``self.stats``) hit descriptors rather than a dict;
+    subclasses that declare their own ``__slots__`` drop the per-instance
+    dict entirely.
     """
+
+    __slots__ = ("sim", "name", "stats", "__dict__")
 
     def __init__(self, sim: Simulation, name: str) -> None:
         self.sim = sim

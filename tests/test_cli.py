@@ -131,3 +131,28 @@ class TestCheckpointCommands:
                      "--warmup-cache", str(tmp_path)]) == 0
         assert list(tmp_path.glob("warmup-*.json")), \
             "--warmup-cache did not populate the cache"
+
+    def test_profile_prints_hotspots(self, capsys):
+        assert main(["profile", "gem5", "--packets", "200",
+                     "--top", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "testpmd 256B @ 25 Gbps" in out
+        # pstats report header plus at least one simulator frame.
+        assert "cumulative" in out
+        assert "event_queue" in out or "run_fixed_load" in out
+
+    def test_profile_dumps_raw_stats(self, capsys, tmp_path):
+        import pstats
+
+        path = tmp_path / "run.pstats"
+        assert main(["profile", "gem5", "--app", "touchdrop",
+                     "--packets", "150", "--sort", "tottime",
+                     "-o", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"raw profile written to {path}" in out
+        # The dump is loadable pstats data.
+        pstats.Stats(str(path))
+
+    def test_profile_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "firesim"])
