@@ -1,0 +1,60 @@
+"""Fabric FCT-vs-load curves: the datacenter-scale stack contrast.
+
+A K=4 fat-tree (16 hosts, 20 switches) offers uniform open-loop flow
+traffic at increasing loads through DPDK-stack and kernel-stack hosts,
+via the sweep executor and a shared warm-up cache (one warm snapshot
+per stack serves every load point).  The rendered table is the fabric
+counterpart of the paper's bandwidth-vs-drop figures: flow completion
+time percentiles and drop rates per offered load, per stack.
+"""
+
+import time
+
+from repro.harness.parallel import SweepExecutor, fabric_point
+from repro.harness.report import format_table
+from repro.system.presets import gem5_default
+
+STACKS = ("dpdk", "kernel")
+
+
+def test_fabric_fct_curves(benchmark, tmp_path, scope, save_result):
+    loads = ([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8] if scope.full
+             else [0.2, 0.4, 0.6, 0.8])
+    n_flows = 2000 if scope.full else 400
+    config = gem5_default()
+    points = [fabric_point(config, "fat-tree-k4", stack,
+                           pattern="uniform", load=load, n_flows=n_flows)
+              for stack in STACKS for load in loads]
+    ex = SweepExecutor(jobs=scope.jobs, cache_dir=scope.cache_dir,
+                       warmup_cache_dir=tmp_path)
+
+    t0 = time.monotonic()
+    results = benchmark.pedantic(lambda: ex.run(points),
+                                 rounds=1, iterations=1)
+    wall_s = time.monotonic() - t0
+
+    by_stack = {stack: results[i * len(loads):(i + 1) * len(loads)]
+                for i, stack in enumerate(STACKS)}
+    rows = []
+    for stack in STACKS:
+        for r in by_stack[stack]:
+            rows.append([stack, f"{r.offered_load:.2f}",
+                         f"{r.flows_completed}/{r.flows_started}",
+                         f"{r.drop_rate * 100:.2f}%",
+                         f"{r.fct_us.get('p50', 0):.2f}",
+                         f"{r.fct_us.get('p99', 0):.2f}"])
+    save_result("fabric_fct", format_table(
+        f"Fat-tree K=4 uniform flows: FCT vs load "
+        f"({n_flows} flows/point, {wall_s:.1f}s wall)",
+        ["stack", "load", "completed", "drop rate", "p50 us", "p99 us"],
+        rows))
+
+    # The paper's contrast must survive at fabric scale: at every load,
+    # kernel-stack hosts complete flows slower than DPDK hosts.
+    for d, k in zip(by_stack["dpdk"], by_stack["kernel"]):
+        assert k.fct_us["mean"] > d.fct_us["mean"], \
+            f"kernel not slower at load {d.offered_load}"
+    # And every run conserves: completions plus drops account for all.
+    for r in results:
+        assert r.flows_completed <= r.flows_started
+        assert 0 <= r.drop_rate < 0.5

@@ -10,6 +10,7 @@
 - ``apps``      — list the registered applications
 - ``graph``     — emit a node's wiring graph as Graphviz DOT
 - ``checkpoint``— save/restore/info on warm-up checkpoints
+- ``fabric``    — multi-node switch fabrics: run/sweep/trace/dot
 - ``profile``   — cProfile one fixed-load run and print the hotspots
 
 Every simulation routes through the parallel sweep executor:
@@ -40,6 +41,11 @@ Examples::
     python -m repro checkpoint save testpmd --size 256 -o warm.ckpt
     python -m repro checkpoint info warm.ckpt
     python -m repro checkpoint restore warm.ckpt
+    python -m repro fabric run fat-tree-k4 --stack dpdk --pattern incast \\
+        --load 0.7 --flows 400
+    python -m repro fabric sweep leaf-spine --loads 0.2,0.4,0.6,0.8 --jobs 4
+    python -m repro fabric trace fat-tree-k4 --flows 1000 -o flows.txt
+    python -m repro fabric dot leaf-spine -o fabric.dot
     python -m repro profile gem5 --app touchfwd --top 15
 """
 
@@ -54,6 +60,7 @@ from repro.harness.experiments import table1_configs
 from repro.harness.msb import bandwidth_sweep
 from repro.harness.parallel import (
     SweepExecutor,
+    fabric_point,
     fixed_load_point,
     memcached_point,
     msb_point,
@@ -61,7 +68,12 @@ from repro.harness.parallel import (
 from repro.harness.report import format_executor_summary, format_table
 from repro.harness.runner import APP_REGISTRY
 from repro.system.config import SystemConfig
-from repro.system.presets import altra, gem5_baseline, gem5_default
+from repro.system.presets import (
+    FABRIC_PRESETS,
+    altra,
+    gem5_baseline,
+    gem5_default,
+)
 
 PLATFORMS = {
     "gem5": gem5_default,
@@ -327,6 +339,101 @@ def _cmd_checkpoint_restore(args) -> int:
     return 0
 
 
+def _cmd_fabric_run(args) -> int:
+    ex = _executor_from(args)
+    result = ex.run([fabric_point(
+        _platform(args.platform), args.preset, args.stack,
+        pattern=args.pattern, load=args.load, n_flows=args.flows,
+        size_cdf=args.size_cdf, seed=args.seed)])[0]
+    rows = [
+        ["flows completed", f"{result.flows_completed}/{result.flows_started}"],
+        ["frames sent", f"{result.frames_sent:,}"],
+        ["frames delivered", f"{result.frames_delivered:,}"],
+        ["drop rate", f"{result.drop_rate * 100:.2f}%"],
+        ["mean FCT us", f"{result.fct_us.get('mean', 0):.2f}"],
+        ["p50 FCT us", f"{result.fct_us.get('p50', 0):.2f}"],
+        ["p95 FCT us", f"{result.fct_us.get('p95', 0):.2f}"],
+        ["p99 FCT us", f"{result.fct_us.get('p99', 0):.2f}"],
+        ["p999 FCT us", f"{result.fct_us.get('p999', 0):.2f}"],
+    ]
+    for cause, share in sorted(result.drop_breakdown.items()):
+        rows.append([f"drops: {cause}", f"{share * 100:.1f}%"])
+    print(format_table(
+        f"{args.preset}/{args.stack} {args.pattern} @ load {args.load:g}, "
+        f"{args.flows} flows ({result.label})",
+        ["metric", "value"], rows))
+    if args.switch_drops and result.per_switch_drops:
+        print(format_table(
+            "per-switch window drops",
+            ["switch", "cause", "count"],
+            [[name, cause, str(count)]
+             for name, causes in sorted(result.per_switch_drops.items())
+             for cause, count in sorted(causes.items())]))
+    _report_trace(args, result)
+    _report_executor(args, ex)
+    return 0
+
+
+def _cmd_fabric_sweep(args) -> int:
+    loads = [float(x) for x in args.loads.split(",")]
+    ex = _executor_from(args)
+    points = [fabric_point(
+        _platform(args.platform), args.preset, args.stack,
+        pattern=args.pattern, load=load, n_flows=args.flows,
+        size_cdf=args.size_cdf, seed=args.seed) for load in loads]
+    results = ex.run(points)
+    print(format_table(
+        f"{args.preset}/{args.stack} {args.pattern} FCT vs load "
+        f"({args.platform})",
+        ["load", "completed", "drop rate", "p50 us", "p99 us"],
+        [[f"{r.offered_load:.2f}",
+          f"{r.flows_completed}/{r.flows_started}",
+          f"{r.drop_rate * 100:.2f}%",
+          f"{r.fct_us.get('p50', 0):.2f}",
+          f"{r.fct_us.get('p99', 0):.2f}"] for r in results]))
+    _report_executor(args, ex)
+    return 0
+
+
+def _cmd_fabric_trace(args) -> int:
+    from repro.harness.fabric import build_fabric_rig
+    from repro.loadgen.flowgen import (
+        FlowGenConfig,
+        plan_flows,
+        write_flow_trace,
+    )
+
+    fabric = build_fabric_rig(_platform(args.platform), args.preset,
+                              args.stack, seed=args.seed)
+    config = FlowGenConfig(pattern=args.pattern, load=args.load,
+                           n_flows=args.flows, size_cdf=args.size_cdf)
+    flows = plan_flows(config, fabric.host_groups(),
+                       fabric.config.link_bandwidth_bps, seed=args.seed)
+    text = write_flow_trace(flows)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"{len(flows)} flows written to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_fabric_dot(args) -> int:
+    from repro.harness.fabric import build_fabric_rig
+
+    fabric = build_fabric_rig(_platform(args.platform), args.preset,
+                              args.stack, seed=args.seed)
+    dot = fabric.wiring_dot()
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(dot + "\n")
+        print(f"fabric wiring graph written to {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
 def _cmd_profile(args) -> int:
     """cProfile one fixed-load run and print the top-N hotspots.
 
@@ -488,6 +595,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore a saved checkpoint and verify the round trip")
     p_restore.add_argument("file")
     p_restore.set_defaults(func=_cmd_checkpoint_restore)
+
+    p_fab = sub.add_parser(
+        "fabric",
+        help="multi-node switch fabrics with flow-level traffic")
+    fab_sub = p_fab.add_subparsers(dest="fabric_command", required=True)
+
+    def fabric_common(p, with_load=True):
+        p.add_argument("preset", choices=sorted(FABRIC_PRESETS))
+        p.add_argument("--stack", default="dpdk",
+                       choices=("dpdk", "kernel"),
+                       help="host networking stack at the leaves")
+        if with_load:
+            p.add_argument("--pattern", default="uniform",
+                           choices=("uniform", "hotspot", "incast"))
+            p.add_argument("--load", type=float, default=0.3,
+                           help="offered load as a fraction of host "
+                                "link bandwidth")
+            p.add_argument("--flows", type=_positive_int, default=200,
+                           help="number of flows to offer")
+            p.add_argument("--size-cdf", dest="size_cdf", default="smoke",
+                           choices=("smoke", "websearch", "datamining"),
+                           help="empirical flow-size distribution")
+
+    p_frun = fab_sub.add_parser(
+        "run", help="one open-loop flow run through a fabric")
+    fabric_common(p_frun)
+    common(p_frun, with_app=False)
+    p_frun.add_argument("--switch-drops", action="store_true",
+                        dest="switch_drops",
+                        help="also print per-switch drop causes")
+    p_frun.add_argument("--trace", metavar="FILE", default=None,
+                        help="export a structured event trace (JSONL) of "
+                             "the run to FILE")
+    p_frun.set_defaults(func=_cmd_fabric_run)
+
+    p_fsweep = fab_sub.add_parser(
+        "sweep", help="FCT/drop curve over offered loads")
+    fabric_common(p_fsweep)
+    common(p_fsweep, with_app=False)
+    p_fsweep.add_argument("--loads", default="0.2,0.4,0.6,0.8",
+                          help="comma-separated offered load fractions")
+    p_fsweep.set_defaults(func=_cmd_fabric_sweep)
+
+    p_ftrace = fab_sub.add_parser(
+        "trace", help="emit a flow trace (offline, no simulation)")
+    fabric_common(p_ftrace)
+    p_ftrace.add_argument("--platform", default="gem5",
+                          choices=sorted(PLATFORMS))
+    p_ftrace.add_argument("--seed", type=int, default=0)
+    p_ftrace.add_argument("-o", "--output", metavar="FILE", default=None,
+                          help="write the trace to FILE instead of stdout")
+    p_ftrace.set_defaults(func=_cmd_fabric_trace)
+
+    p_fdot = fab_sub.add_parser(
+        "dot", help="emit the fabric wiring graph as Graphviz DOT")
+    fabric_common(p_fdot, with_load=False)
+    p_fdot.add_argument("--platform", default="gem5",
+                        choices=sorted(PLATFORMS))
+    p_fdot.add_argument("--seed", type=int, default=0)
+    p_fdot.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="write DOT to FILE instead of stdout")
+    p_fdot.set_defaults(func=_cmd_fabric_dot)
 
     p_prof = sub.add_parser(
         "profile",

@@ -1,0 +1,310 @@
+"""Fabric run primitives: build a fabric, offer flows, collect results.
+
+The fabric counterpart of :mod:`repro.harness.runner`: the same
+warm-up / checkpoint-restore / measured-window / drain shape, applied to
+a whole switch fabric instead of a single node.  The warm-up plan is
+deliberately *load- and pattern-independent* (a canonical trickle of
+uniform traffic), so every point of a fabric load sweep shares one
+post-warm-up snapshot through the warm-up cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from repro.harness.runner import _finalize_run
+from repro.harness.warmup_cache import (
+    WarmupCache,
+    warmup_cache_from_env,
+    warmup_key,
+)
+from repro.loadgen.flowgen import (
+    FlowGenConfig,
+    FlowTrafficGenerator,
+    resolve_size_cdf,
+)
+from repro.net.fabric import Fabric, FabricConfig, build_fabric
+from repro.sim.checkpoint import CheckpointError
+from repro.sim.invariants import InvariantViolation
+from repro.sim.simobject import Simulation
+from repro.system.config import SystemConfig
+from repro.system.presets import FABRIC_PRESETS
+
+
+def host_service_ns(config: SystemConfig, stack: str) -> float:
+    """Per-frame host service cost derived from the platform's measured
+    per-packet cycle costs (:class:`repro.cpu.kernels.KernelCosts`).
+
+    DPDK hosts pay the PMD per-packet cost plus amortized mempool
+    get/put and an RX-burst share; kernel hosts pay the softirq
+    per-packet path, an skb allocation, and amortized interrupt +
+    syscall entry (NAPI batch of 8).  This keeps the paper's stack
+    contrast — tens of ns vs most of a microsecond per packet — without
+    simulating 16 full microarchitectural nodes.
+    """
+    costs = config.costs
+    freq_hz = config.core.freq_hz
+    if stack == "dpdk":
+        cycles = (costs.pmd_per_packet_cycles
+                  + costs.mempool_get_put_cycles
+                  + costs.pmd_rx_burst_cycles / 8.0)
+    elif stack == "kernel":
+        cycles = (costs.softirq_per_packet_cycles
+                  + costs.skb_alloc_cycles
+                  + costs.interrupt_cycles / 8.0
+                  + costs.syscall_cycles / 8.0)
+    else:
+        raise ValueError(f"unknown stack {stack!r}")
+    return cycles / freq_hz * 1e9
+
+
+@dataclass(frozen=True)
+class FabricWarmupPlan:
+    """The load-independent warm-up phase for a fabric run.
+
+    A short burst of uniform traffic at a canonical low load exercises
+    every tier of the fabric (ECMP spreads the warm flows across the
+    core), then the fabric drains to quiescence and resets statistics —
+    the state :meth:`repro.net.fabric.Fabric.checkpoint` captures.
+    """
+
+    warm_flows: int = 32
+    warm_load: float = 0.15
+    warm_pattern: str = "uniform"
+    warm_size_cdf: str = "smoke"
+    drain_chunk_us: float = 200.0
+    max_drain_chunks: int = 400
+
+
+@dataclass
+class FabricRunResult:
+    """Outcome of one flow-level fabric run."""
+
+    label: str
+    preset: str
+    stack: str
+    pattern: str
+    offered_load: float
+    n_flows: int
+    flows_started: int
+    flows_completed: int
+    frames_sent: int
+    frames_delivered: int
+    drop_rate: float
+    #: FCT percentiles in microseconds (count/mean/p50/p95/p99/p999/...).
+    fct_us: Dict[str, float] = field(default_factory=dict)
+    #: Fraction of total drops by cause (sums to 1, or empty when clean).
+    drop_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Window drop counts by switch name and cause (nonzero only).
+    per_switch_drops: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: SHA-256 over the sorted flow completion records — the
+    #: determinism anchor (tracer-independent).
+    flow_digest: str = ""
+    #: SHA-256 of the exported trace; empty when tracing was off.
+    trace_digest: str = ""
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FabricRunResult":
+        """Rebuild from ``dataclasses.asdict`` output (the shape the
+        parallel executor's cache and workers exchange)."""
+        return cls(**data)
+
+
+def fabric_config_for(config: SystemConfig, preset: str,
+                      stack: str) -> FabricConfig:
+    """Resolve a named fabric preset against a platform config: the
+    preset supplies the geometry, the platform supplies link parameters
+    and the per-frame host service cost for the chosen stack."""
+    try:
+        make: Callable[..., FabricConfig] = FABRIC_PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown fabric preset {preset!r}; expected one of "
+            f"{sorted(FABRIC_PRESETS)}") from None
+    fab_cfg = make(stack=stack)
+    if fab_cfg.host_service_ns == 0.0:
+        fab_cfg = replace(fab_cfg,
+                          host_service_ns=host_service_ns(config, stack))
+    return fab_cfg
+
+
+def build_fabric_rig(config: SystemConfig, preset: str, stack: str,
+                     seed: int = 0) -> Fabric:
+    """Build a fabric plus its attached flow generator, validated."""
+    fab_cfg = fabric_config_for(config, preset, stack)
+    sim = Simulation(seed=seed)
+    label = f"fabric.{preset}.{stack}"
+    fabric = build_fabric(sim, fab_cfg, name=label)
+    generator = FlowTrafficGenerator(
+        sim, "flowgen", fabric.hosts, fabric.host_groups(),
+        fab_cfg.link_bandwidth_bps)
+    fabric.attach_generator(generator)
+    fabric.validate_wiring()
+    return fabric
+
+
+def _run_phase(fabric: Fabric, chunk_us: float = 50.0,
+               max_chunks: int = 4000) -> None:
+    """Advance in fixed chunks until the generator has injected every
+    flow and the fabric has drained."""
+    generator = fabric.generator
+    for _ in range(max_chunks):
+        if not generator.active and fabric.quiescent():
+            return
+        fabric.run_us(chunk_us)
+    raise CheckpointError(
+        f"{fabric.label}: flow phase failed to drain after "
+        f"{max_chunks} chunks of {chunk_us}us")
+
+
+def _warm_key(config: SystemConfig, fabric: Fabric, preset: str, stack: str,
+              plan: FabricWarmupPlan, seed: int) -> str:
+    app_options = {"fabric": fabric.config.canonical_dict()}
+    return warmup_key(config, f"fabric:{preset}:{stack}", 0, app_options,
+                      plan, seed, fabric.sim.tracer._options_signature())
+
+
+def _warm_gen_config(plan: FabricWarmupPlan) -> FlowGenConfig:
+    return FlowGenConfig(pattern=plan.warm_pattern, load=plan.warm_load,
+                         n_flows=plan.warm_flows,
+                         size_cdf=plan.warm_size_cdf)
+
+
+def prewarm_fabric(config: SystemConfig, preset: str, stack: str,
+                   seed: int = 0,
+                   warmup_cache: Optional[WarmupCache] = None) -> bool:
+    """Populate the warm-up checkpoint cache for a fabric run.
+
+    Exactly the warm-up block of :func:`run_fabric` (same key, same
+    plan), stopped after the snapshot is sealed.  The persistent-worker
+    sweep executor calls this in the parent before forking, so workers
+    inherit the parsed snapshot through copy-on-write memory.
+
+    Returns True when a fresh snapshot was simulated and stored, False
+    on a cache hit or when no cache is configured.
+    """
+    cache = warmup_cache if warmup_cache is not None \
+        else warmup_cache_from_env()
+    if cache is None:
+        return False
+    fabric = build_fabric_rig(config, preset, stack, seed=seed)
+    plan = FabricWarmupPlan()
+    key = _warm_key(config, fabric, preset, stack, plan, seed)
+    if cache.get(key) is not None:
+        return False
+    fabric.generator.start(_warm_gen_config(plan))
+    _run_phase(fabric)
+    fabric.drain_to_quiescence(chunk_us=plan.drain_chunk_us,
+                               max_chunks=plan.max_drain_chunks)
+    fabric.reset_measurement()
+    cache.put(key, fabric.checkpoint(extra_meta={"phase": "warmup"}))
+    cache.get(key)   # validated read-back seeds the in-memory memo
+    return True
+
+
+def run_fabric(config: SystemConfig, preset: str, stack: str,
+               pattern: str = "uniform", load: float = 0.3,
+               n_flows: int = 200, size_cdf: str = "smoke",
+               seed: int = 0,
+               warmup_cache: Optional[WarmupCache] = None
+               ) -> FabricRunResult:
+    """Run one open-loop flow phase through a fabric and measure FCTs.
+
+    Warm-up runs a canonical uniform trickle, drains, and resets
+    statistics; with ``warmup_cache`` (or ``REPRO_WARMUP_CACHE``) set,
+    that state is checkpointed once and restored on every later run
+    with the same key — bit-identical to warming up from scratch, and
+    shared across patterns and loads.
+    """
+    fabric = build_fabric_rig(config, preset, stack, seed=seed)
+    plan = FabricWarmupPlan()
+    cache = warmup_cache if warmup_cache is not None \
+        else warmup_cache_from_env()
+    key = None
+    restored = False
+    if cache is not None:
+        key = _warm_key(config, fabric, preset, stack, plan, seed)
+        snapshot = cache.get(key)
+        if snapshot is not None:
+            try:
+                fabric.restore(snapshot)
+                restored = True
+            except CheckpointError:
+                # Schema drift that survived the digest check: drop the
+                # entry and warm up from scratch on a rebuilt fabric.
+                cache.discard(key)
+                fabric = build_fabric_rig(config, preset, stack, seed=seed)
+    if not restored:
+        fabric.generator.start(_warm_gen_config(plan))
+        _run_phase(fabric)
+        fabric.drain_to_quiescence(chunk_us=plan.drain_chunk_us,
+                                   max_chunks=plan.max_drain_chunks)
+        fabric.reset_measurement()
+        if cache is not None:
+            cache.put(key, fabric.checkpoint(extra_meta={"phase": "warmup"}))
+
+    # Measured phase — identical code whether the warm-up was simulated
+    # or restored from a checkpoint.
+    generator = fabric.generator
+    resolve_size_cdf(size_cdf)   # fail fast on unknown names
+    generator.start(FlowGenConfig(pattern=pattern, load=load,
+                                  n_flows=n_flows, size_cdf=size_cdf))
+    _run_phase(fabric)
+    fabric.drain_to_quiescence(chunk_us=plan.drain_chunk_us,
+                               max_chunks=plan.max_drain_chunks)
+    trace_digest = _finalize_run(fabric)
+
+    sent = fabric.frames_sent()
+    delivered = fabric.frames_delivered()
+    drop_counts = fabric.drop_breakdown()
+    total_drops = sum(drop_counts.values())
+    breakdown = ({cause: count / total_drops
+                  for cause, count in sorted(drop_counts.items())}
+                 if total_drops else {})
+    result = FabricRunResult(
+        label=config.label,
+        preset=preset,
+        stack=stack,
+        pattern=pattern,
+        offered_load=load,
+        n_flows=n_flows,
+        flows_started=generator.flows_started,
+        flows_completed=generator.flows_completed,
+        frames_sent=sent,
+        frames_delivered=delivered,
+        drop_rate=(total_drops / sent) if sent else 0.0,
+        fct_us=generator.fct_summary(),
+        drop_breakdown=breakdown,
+        per_switch_drops=fabric.per_switch_drops(),
+        flow_digest=generator.flow_digest(),
+        trace_digest=trace_digest,
+    )
+    _check_fabric_sanity(fabric, result)
+    return result
+
+
+def _check_fabric_sanity(fabric: Fabric, result: FabricRunResult) -> None:
+    """Harness-level cross-checks on the reported numbers (the fabric's
+    internal conservation laws are the invariant registry's job)."""
+    if fabric.sim.invariants.mode == "off":
+        return
+    fails = []
+    if result.flows_completed > result.flows_started:
+        fails.append(f"completed {result.flows_completed} flows but only "
+                     f"{result.flows_started} started")
+    if not 0 <= result.frames_delivered <= result.frames_sent:
+        fails.append(f"delivered {result.frames_delivered} outside "
+                     f"[0, sent {result.frames_sent}]")
+    share = sum(result.drop_breakdown.values())
+    if result.drop_breakdown and not 0.999 < share < 1.001:
+        fails.append(f"drop-cause breakdown sums to {share:.6f}, not 1: "
+                     f"{result.drop_breakdown}")
+    count = result.fct_us.get("count", 0)
+    if count != result.flows_completed:
+        fails.append(f"FCT samples ({count:g}) != completed flows "
+                     f"({result.flows_completed})")
+    if fails:
+        raise InvariantViolation(
+            [f"harness.fabric: {msg}" for msg in fails],
+            tick=fabric.sim.now, phase="harness")

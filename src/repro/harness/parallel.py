@@ -69,6 +69,11 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.harness.fabric import (
+    FabricRunResult,
+    prewarm_fabric,
+    run_fabric,
+)
 from repro.harness.msb import MsbResult, _saturation_warmup_us, find_msb
 from repro.harness.runner import (
     FixedLoadResult,
@@ -98,6 +103,7 @@ CACHE_VERSION = 3
 KIND_FIXED_LOAD = "fixed_load"
 KIND_MEMCACHED = "memcached"
 KIND_MSB = "msb"
+KIND_FABRIC = "fabric"
 
 
 # ----------------------------------------------------------------------
@@ -179,6 +185,26 @@ def msb_point(config: SystemConfig, app: str, packet_size: int,
                       seed=seed)
 
 
+def fabric_point(config: SystemConfig, preset: str, stack: str,
+                 pattern: str = "uniform", load: float = 0.3,
+                 n_flows: int = 200, size_cdf: str = "smoke",
+                 seed: int = 0) -> SweepPoint:
+    """A :func:`repro.harness.fabric.run_fabric` invocation.
+
+    ``app`` carries ``preset:stack``; the measured traffic pattern and
+    flow-size CDF travel in ``app_options``.  ``load`` is the offered
+    load fraction of host link bandwidth, ``n_packets`` the flow count.
+    Points differing only in ``load`` share one RNG stream (and hence
+    one warm-up checkpoint) exactly like fixed-load points.
+    """
+    return SweepPoint(kind=KIND_FABRIC, config=config,
+                      app=f"{preset}:{stack}", load=float(load),
+                      n_packets=n_flows,
+                      app_options={"pattern": pattern,
+                                   "size_cdf": size_cdf},
+                      seed=seed)
+
+
 # ----------------------------------------------------------------------
 # Point execution and result (de)serialisation
 # ----------------------------------------------------------------------
@@ -202,6 +228,16 @@ def _run_msb(point: SweepPoint):
                     max_gbps=point.load, n_packets=point.n_packets,
                     app_options=point.app_options,
                     seed=point.effective_seed)
+
+
+def _run_fabric(point: SweepPoint):
+    preset, stack = point.app.rsplit(":", 1)
+    opts = point.app_options or {}
+    return run_fabric(point.config, preset, stack,
+                      pattern=opts.get("pattern", "uniform"),
+                      load=point.load, n_flows=point.n_packets,
+                      size_cdf=opts.get("size_cdf", "smoke"),
+                      seed=point.effective_seed)
 
 
 def _in_worker() -> bool:
@@ -254,6 +290,7 @@ _KIND_HANDLERS: Dict[str, Callable[[SweepPoint], Any]] = {
     KIND_FIXED_LOAD: _run_fixed,
     KIND_MEMCACHED: _run_memcached,
     KIND_MSB: _run_msb,
+    KIND_FABRIC: _run_fabric,
     "_poison_raise": _poison_raise,
     "_poison_hang": _poison_hang,
     "_poison_hang_once": _poison_hang_once,
@@ -278,6 +315,7 @@ _RESULT_TYPES = {
     "FixedLoadResult": FixedLoadResult,
     "MemcachedRunResult": MemcachedRunResult,
     "MsbResult": MsbResult,
+    "FabricRunResult": FabricRunResult,
 }
 
 
@@ -475,7 +513,7 @@ def _warm_signature(point: SweepPoint):
     means the kind has no warm-up to share (poison hooks).
     """
     if point.config is None or point.kind not in (
-            KIND_FIXED_LOAD, KIND_MEMCACHED, KIND_MSB):
+            KIND_FIXED_LOAD, KIND_MEMCACHED, KIND_MSB, KIND_FABRIC):
         return None
     return (
         point.kind,
@@ -509,6 +547,10 @@ def prewarm_point(point: SweepPoint) -> bool:
         return prewarm_memcached(
             point.config, point.app == "memcached_kernel",
             seed=point.effective_seed)
+    if point.kind == KIND_FABRIC:
+        preset, stack = point.app.rsplit(":", 1)
+        return prewarm_fabric(point.config, preset, stack,
+                              seed=point.effective_seed)
     return False
 
 

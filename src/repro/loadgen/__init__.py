@@ -31,8 +31,28 @@ from repro.loadgen.ether_load_gen import (
     TraceConfig,
 )
 from repro.loadgen.memcached_client import MemcachedClient, MemcachedClientConfig
+from repro.loadgen.flowgen import (
+    SIZE_CDFS,
+    Flow,
+    FlowGenConfig,
+    FlowSizeCdf,
+    FlowTrafficGenerator,
+    plan_flows,
+    read_flow_trace,
+    resolve_size_cdf,
+    write_flow_trace,
+)
 
 __all__ = [
+    "SIZE_CDFS",
+    "Flow",
+    "FlowGenConfig",
+    "FlowSizeCdf",
+    "FlowTrafficGenerator",
+    "plan_flows",
+    "read_flow_trace",
+    "resolve_size_cdf",
+    "write_flow_trace",
     "ExponentialInterArrival",
     "FixedInterArrival",
     "UniformInterArrival",

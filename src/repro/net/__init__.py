@@ -23,8 +23,30 @@ from repro.net.headers import (
     parse_udp_frame,
 )
 from repro.net.pcap import PcapReader, PcapRecord, PcapWriter
+from repro.net.fabric import (
+    DROP_CAUSES,
+    FabricConfig,
+    FabricHost,
+    OutputQueuedSwitch,
+    SwitchConfig,
+    build_fabric,
+    build_fat_tree,
+    build_leaf_spine,
+    ecmp_hash,
+    ecmp_select,
+)
 
 __all__ = [
+    "DROP_CAUSES",
+    "FabricConfig",
+    "FabricHost",
+    "OutputQueuedSwitch",
+    "SwitchConfig",
+    "build_fabric",
+    "build_fat_tree",
+    "build_leaf_spine",
+    "ecmp_hash",
+    "ecmp_select",
     "ETHER_HEADER_LEN",
     "ETHER_MIN_FRAME",
     "ETHER_MAX_FRAME",

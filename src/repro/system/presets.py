@@ -177,3 +177,32 @@ def with_dram_channels(config: SystemConfig, channels: int) -> SystemConfig:
     hier = config.hierarchy
     return config.variant(hierarchy=replace(
         hier, dram=replace(hier.dram, channels=channels)))
+
+
+# -- fabric presets ----------------------------------------------------------
+#
+# Named switch-fabric geometries for ``python -m repro fabric`` and the
+# scenario test matrix.  Geometry only: link parameters default to the
+# Table I wire (100Gbps) with datacenter-scale 1us hops, and the
+# per-frame host service cost is resolved from the platform's
+# KernelCosts by the harness (repro.harness.fabric.fabric_config_for)
+# when left at 0.
+
+
+def fabric_fat_tree_k4(stack: str = "dpdk"):
+    """K=4 fat-tree: 4 pods, 20 switches, 16 hosts, full bisection."""
+    from repro.net.fabric import FabricConfig
+    return FabricConfig(topology="fat_tree", k=4, stack=stack)
+
+
+def fabric_leaf_spine(stack: str = "dpdk"):
+    """4 leaves x 2 spines, 4 hosts per leaf: 2:1 oversubscribed."""
+    from repro.net.fabric import FabricConfig
+    return FabricConfig(topology="leaf_spine", leaves=4, spines=2,
+                        hosts_per_leaf=4, stack=stack)
+
+
+FABRIC_PRESETS = {
+    "fat-tree-k4": fabric_fat_tree_k4,
+    "leaf-spine": fabric_leaf_spine,
+}

@@ -1,0 +1,254 @@
+"""Unit and property tests for the flow-level traffic generator.
+
+The Hypothesis properties pin the three guarantees the fabric scenario
+matrix leans on: sampled flow sizes track the empirical CDF, Poisson
+arrival schedules are seed-deterministic under RNG fork-labels, and
+ECMP hashing is permutation-stable for a fixed 5-tuple.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.loadgen.flowgen import (
+    DATAMINING_CDF,
+    SIZE_CDFS,
+    SMOKE_CDF,
+    WEBSEARCH_CDF,
+    Flow,
+    FlowGenConfig,
+    FlowSizeCdf,
+    pick_endpoints,
+    plan_flows,
+    read_flow_trace,
+    resolve_size_cdf,
+    write_flow_trace,
+)
+from repro.net.fabric import ecmp_hash, ecmp_select
+from repro.sim.rng import DeterministicRng
+
+GROUPS_2x4 = [0, 0, 0, 0, 1, 1, 1, 1]
+LINK_BPS = 100e9
+
+
+# ----------------------------------------------------------------------
+# FlowSizeCdf construction and sampling
+# ----------------------------------------------------------------------
+
+def test_cdf_rejects_bad_points():
+    with pytest.raises(ValueError):
+        FlowSizeCdf([])
+    with pytest.raises(ValueError):
+        FlowSizeCdf([(100, 0.5), (100, 1.0)])       # sizes not increasing
+    with pytest.raises(ValueError):
+        FlowSizeCdf([(100, 0.7), (200, 0.5)])       # probs decreasing
+    with pytest.raises(ValueError):
+        FlowSizeCdf([(100, 0.5), (200, 0.9)])       # does not reach 1.0
+    with pytest.raises(ValueError):
+        FlowSizeCdf([(100, 1.5)])                   # prob out of range
+
+
+def test_builtin_cdfs_well_formed():
+    for name, cdf in SIZE_CDFS.items():
+        assert cdf.name == name
+        assert cdf.points[-1][1] == pytest.approx(1.0)
+        assert cdf.mean() > 0
+
+
+def test_cdf_sample_bounds_and_mean():
+    rng = DeterministicRng(7)
+    draws = [SMOKE_CDF.sample(rng) for _ in range(4000)]
+    lo = SMOKE_CDF.points[0][0]
+    hi = SMOKE_CDF.points[-1][0]
+    assert all(lo <= d <= hi for d in draws)
+    empirical = sum(draws) / len(draws)
+    assert empirical == pytest.approx(SMOKE_CDF.mean(), rel=0.05)
+
+
+def test_cdf_lines_round_trip():
+    text = WEBSEARCH_CDF.to_lines()
+    back = FlowSizeCdf.from_lines(text, name="websearch")
+    assert back.points == [(float(int(s)), pytest.approx(p, abs=1e-6))
+                           for s, p in WEBSEARCH_CDF.points]
+
+
+def test_resolve_size_cdf():
+    assert resolve_size_cdf("datamining") is DATAMINING_CDF
+    assert resolve_size_cdf(SMOKE_CDF) is SMOKE_CDF
+    with pytest.raises(ValueError):
+        resolve_size_cdf("nope")
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_sampled_sizes_match_cdf_within_tolerance(seed):
+    """Empirical P(size <= breakpoint) tracks the CDF at every point."""
+    rng = DeterministicRng(seed)
+    n = 800
+    draws = [SMOKE_CDF.sample(rng) for _ in range(n)]
+    for size, prob in SMOKE_CDF.points:
+        empirical = sum(1 for d in draws if d <= size) / n
+        # 4 sigma of a Binomial(n, p) proportion at worst-case p=0.5
+        assert abs(empirical - prob) < 0.075
+
+
+# ----------------------------------------------------------------------
+# FlowGenConfig and endpoint patterns
+# ----------------------------------------------------------------------
+
+def test_flow_gen_config_validation():
+    with pytest.raises(ValueError):
+        FlowGenConfig(pattern="zipf")
+    with pytest.raises(ValueError):
+        FlowGenConfig(load=0.0)
+    with pytest.raises(ValueError):
+        FlowGenConfig(n_flows=0)
+    with pytest.raises(ValueError):
+        FlowGenConfig(intra_group_fraction=1.5)
+
+
+def test_incast_pattern_converges_on_host_zero():
+    rng = DeterministicRng(1)
+    config = FlowGenConfig(pattern="incast")
+    for _ in range(50):
+        src, dst = pick_endpoints(rng, GROUPS_2x4, config)
+        assert dst == 0
+        assert src != 0
+
+
+def test_incast_fanin_limits_sources():
+    rng = DeterministicRng(1)
+    config = FlowGenConfig(pattern="incast", incast_fanin=3)
+    sources = {pick_endpoints(rng, GROUPS_2x4, config)[0]
+               for _ in range(100)}
+    assert sources <= {1, 2, 3}
+
+
+def test_hotspot_pattern_skews_to_hot_hosts():
+    rng = DeterministicRng(2)
+    config = FlowGenConfig(pattern="hotspot", hotspot_fraction=0.8)
+    dsts = [pick_endpoints(rng, GROUPS_2x4, config)[1]
+            for _ in range(300)]
+    hot_share = sum(1 for d in dsts if d == 0) / len(dsts)
+    assert hot_share > 0.5        # well above the 1/8 uniform share
+
+
+def test_uniform_pattern_never_self_flows():
+    rng = DeterministicRng(3)
+    config = FlowGenConfig(pattern="uniform")
+    for _ in range(200):
+        src, dst = pick_endpoints(rng, GROUPS_2x4, config)
+        assert src != dst
+
+
+def test_intra_group_fraction_extremes():
+    config_intra = FlowGenConfig(pattern="uniform", intra_group_fraction=1.0)
+    config_inter = FlowGenConfig(pattern="uniform", intra_group_fraction=0.0)
+    rng = DeterministicRng(4)
+    for _ in range(100):
+        src, dst = pick_endpoints(rng, GROUPS_2x4, config_intra)
+        assert GROUPS_2x4[src] == GROUPS_2x4[dst]
+    for _ in range(100):
+        src, dst = pick_endpoints(rng, GROUPS_2x4, config_inter)
+        assert GROUPS_2x4[src] != GROUPS_2x4[dst]
+
+
+def test_pick_endpoints_needs_two_hosts():
+    with pytest.raises(ValueError):
+        pick_endpoints(DeterministicRng(0), [0], FlowGenConfig())
+
+
+# ----------------------------------------------------------------------
+# Poisson schedules: seed-determinism under fork labels
+# ----------------------------------------------------------------------
+
+def test_plan_flows_deterministic_per_seed():
+    config = FlowGenConfig(pattern="uniform", load=0.4, n_flows=64)
+    a = plan_flows(config, GROUPS_2x4, LINK_BPS, seed=11)
+    b = plan_flows(config, GROUPS_2x4, LINK_BPS, seed=11)
+    c = plan_flows(config, GROUPS_2x4, LINK_BPS, seed=12)
+    assert a == b
+    assert a != c
+    assert [f.start_tick for f in a] == sorted(f.start_tick for f in a)
+    assert all(f.start_tick > 0 for f in a)
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1),
+       st.text(alphabet="abcdefgh.", min_size=1, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_poisson_gaps_seed_deterministic_under_fork_labels(seed, label):
+    """The same (seed, fork label) always yields the same arrival
+    schedule; a different label yields an independent stream."""
+    config = FlowGenConfig(pattern="uniform", load=0.3, n_flows=16)
+
+    def schedule(fork_label):
+        from repro.loadgen.flowgen import _synthesize
+        rng = DeterministicRng(seed).fork(fork_label)
+        return [f.start_tick for f in
+                _synthesize(rng, GROUPS_2x4, LINK_BPS, config,
+                            first_flow_id=0, start_tick=0)]
+
+    assert schedule(label) == schedule(label)
+    assert schedule(label) != schedule(label + ".other")
+
+
+# ----------------------------------------------------------------------
+# ECMP hashing: permutation stability
+# ----------------------------------------------------------------------
+
+FIVE_TUPLES = st.tuples(st.integers(0, 1 << 16), st.integers(0, 1 << 16),
+                        st.integers(0, 255), st.integers(0, 1 << 16),
+                        st.integers(0, 1 << 16))
+
+
+@given(FIVE_TUPLES, st.lists(st.integers(0, 63), min_size=1, max_size=8,
+                             unique=True).flatmap(
+           lambda base: st.tuples(st.just(base), st.permutations(base))))
+@settings(max_examples=100, deadline=None)
+def test_ecmp_select_permutation_stable(five_tuple, choices_pair):
+    """The chosen port depends on the candidate *set*, never its order."""
+    base, shuffled = choices_pair
+    assert (ecmp_select(five_tuple, base)
+            == ecmp_select(five_tuple, shuffled))
+
+
+@given(FIVE_TUPLES)
+@settings(max_examples=100, deadline=None)
+def test_ecmp_hash_stable_and_salted(five_tuple):
+    assert ecmp_hash(five_tuple) == ecmp_hash(five_tuple)
+    assert ecmp_hash(five_tuple, salt="a") != ecmp_hash(five_tuple, salt="b")
+
+
+def test_ecmp_spreads_across_choices():
+    """Distinct flows between one host pair fan out over all uplinks."""
+    chosen = {ecmp_select((1, 2, 3, sport, 9000), [0, 1, 2, 3])
+              for sport in range(49152, 49152 + 64)}
+    assert chosen == {0, 1, 2, 3}
+
+
+# ----------------------------------------------------------------------
+# Flow trace format
+# ----------------------------------------------------------------------
+
+def test_flow_trace_round_trip():
+    config = FlowGenConfig(pattern="hotspot", load=0.5, n_flows=40)
+    flows = plan_flows(config, GROUPS_2x4, LINK_BPS, seed=5)
+    back = read_flow_trace(write_flow_trace(flows))
+    assert len(back) == len(flows)
+    for orig, parsed in zip(flows, back):
+        assert (parsed.src, parsed.dst, parsed.proto, parsed.dst_port,
+                parsed.size_bytes) == (orig.src, orig.dst, orig.proto,
+                                       orig.dst_port, orig.size_bytes)
+        # start times round-trip through 9-decimal seconds: ns precision
+        assert abs(parsed.start_tick - orig.start_tick) <= 1000
+
+
+def test_flow_trace_header_mismatch_rejected():
+    with pytest.raises(ValueError):
+        read_flow_trace("3\n0 1 3 9000 100 0.0\n")
+    assert read_flow_trace("") == []
+
+
+def test_flow_five_tuple():
+    flow = Flow(flow_id=1, src=3, dst=5, size_bytes=100, start_tick=0,
+                src_port=50000)
+    assert flow.five_tuple == (3, 5, 3, 50000, 9000)

@@ -201,6 +201,31 @@ class TestPersistentWorkerBatches:
         assert ex.stats.serial_fallbacks == 1
         assert ex.stats.executed == len(points)
 
+    def test_crash_mid_fabric_batch_requeues_batch_mates(self):
+        """Same batch-mate guarantee with fabric points in the batches:
+        a worker dying mid-fabric-batch costs exactly the poisoned
+        point, and every fabric result still matches the serial
+        reference bit-for-bit."""
+        from repro.harness.parallel import fabric_point
+
+        config = gem5_default()
+        fabrics = [fabric_point(config, "leaf-spine", "dpdk",
+                                pattern="uniform", load=0.2 + 0.1 * i,
+                                n_flows=60) for i in range(7)]
+        points = fabrics[:4] + _poison("_poison_child_crash", 1) \
+            + fabrics[4:]
+        ex = SweepExecutor(jobs=2, timeout_s=120.0, max_retries=0)
+        results = ex.run(points)
+
+        serial = SweepExecutor(jobs=1).run(fabrics)
+        for got, want in zip(results[:4] + results[5:], serial):
+            assert dataclasses.asdict(got) == dataclasses.asdict(want)
+        assert results[4]["via"] == "serial-fallback"
+        assert ex.stats.crashes == 1
+        assert ex.stats.retries == 0
+        assert ex.stats.serial_fallbacks == 1
+        assert ex.stats.executed == len(points)
+
 
 class TestTimeoutRetry:
     def test_timeout_then_clean_retry_succeeds(self, tmp_path):

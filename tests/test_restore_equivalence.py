@@ -20,6 +20,7 @@ import dataclasses
 
 import pytest
 
+from repro.harness.fabric import run_fabric
 from repro.harness.runner import run_fixed_load, run_memcached
 from repro.harness.warmup_cache import WarmupCache
 from repro.system.presets import gem5_default
@@ -65,6 +66,42 @@ def test_memcached_restore_is_bit_identical(tmp_path, kernel):
     assert cache.saves == 1 and cache.hits == 1
     assert dataclasses.asdict(plain) == dataclasses.asdict(cold)
     assert dataclasses.asdict(cold) == dataclasses.asdict(warm)
+
+
+@pytest.mark.parametrize("preset,stack", [
+    ("fat-tree-k4", "dpdk"),
+    ("leaf-spine", "kernel"),
+])
+def test_fabric_restore_is_bit_identical(tmp_path, preset, stack):
+    """A warmed fat-tree / leaf-spine restores bit-identically, so the
+    warm-up cache works for fabric sweeps exactly as for single nodes."""
+    config = gem5_default()
+    cache = WarmupCache(tmp_path)
+    kw = dict(pattern="uniform", load=0.3, n_flows=120)
+    plain = run_fabric(config, preset, stack, **kw)
+    cold = run_fabric(config, preset, stack, warmup_cache=cache, **kw)
+    warm = run_fabric(config, preset, stack, warmup_cache=cache, **kw)
+    assert cache.saves == 1 and cache.hits == 1, \
+        "fabric cache did not follow the miss-then-hit script"
+    assert dataclasses.asdict(plain) == dataclasses.asdict(cold), \
+        f"{preset}/{stack}: taking a fabric checkpoint perturbed the run"
+    assert dataclasses.asdict(cold) == dataclasses.asdict(warm), \
+        f"{preset}/{stack}: restoring the fabric checkpoint changed results"
+
+
+def test_fabric_snapshot_shared_across_patterns_and_loads(tmp_path):
+    """One warm fabric snapshot serves every measured pattern and load:
+    the warm-up plan is pattern- and load-independent by design."""
+    config = gem5_default()
+    cache = WarmupCache(tmp_path)
+    run_fabric(config, "leaf-spine", "dpdk", pattern="uniform",
+               load=0.2, n_flows=60, warmup_cache=cache)
+    run_fabric(config, "leaf-spine", "dpdk", pattern="incast",
+               load=0.7, n_flows=60, warmup_cache=cache)
+    run_fabric(config, "leaf-spine", "dpdk", pattern="hotspot",
+               load=0.5, n_flows=60, warmup_cache=cache)
+    assert cache.saves == 1 and cache.hits == 2, \
+        "patterns did not share the fabric warm-up snapshot"
 
 
 def test_snapshot_is_shared_across_loads(tmp_path):
