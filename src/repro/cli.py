@@ -340,11 +340,30 @@ def _cmd_checkpoint_restore(args) -> int:
 
 
 def _cmd_fabric_run(args) -> int:
-    ex = _executor_from(args)
-    result = ex.run([fabric_point(
-        _platform(args.platform), args.preset, args.stack,
-        pattern=args.pattern, load=args.load, n_flows=args.flows,
-        size_cdf=args.size_cdf, seed=args.seed)])[0]
+    if args.shards > 1:
+        if args.trace:
+            print("--trace is not available with --shards > 1: each shard "
+                  "traces its own slice only", file=sys.stderr)
+            return 2
+        from repro.harness.fabric import run_fabric_sharded
+        # Run with the same forked per-point seed the executor path
+        # uses, so --shards N reproduces the --shards 1 digest exactly.
+        point = fabric_point(
+            _platform(args.platform), args.preset, args.stack,
+            pattern=args.pattern, load=args.load, n_flows=args.flows,
+            size_cdf=args.size_cdf, seed=args.seed)
+        result = run_fabric_sharded(
+            point.config, args.preset, args.stack,
+            pattern=args.pattern, load=args.load, n_flows=args.flows,
+            size_cdf=args.size_cdf, seed=point.effective_seed,
+            shards=args.shards)
+        ex = None
+    else:
+        ex = _executor_from(args)
+        result = ex.run([fabric_point(
+            _platform(args.platform), args.preset, args.stack,
+            pattern=args.pattern, load=args.load, n_flows=args.flows,
+            size_cdf=args.size_cdf, seed=args.seed)])[0]
     rows = [
         ["flows completed", f"{result.flows_completed}/{result.flows_started}"],
         ["frames sent", f"{result.frames_sent:,}"],
@@ -370,7 +389,8 @@ def _cmd_fabric_run(args) -> int:
              for name, causes in sorted(result.per_switch_drops.items())
              for cause, count in sorted(causes.items())]))
     _report_trace(args, result)
-    _report_executor(args, ex)
+    if ex is not None:
+        _report_executor(args, ex)
     return 0
 
 
@@ -628,6 +648,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_frun.add_argument("--trace", metavar="FILE", default=None,
                         help="export a structured event trace (JSONL) of "
                              "the run to FILE")
+    p_frun.add_argument("--shards", type=_positive_int, default=1,
+                        help="split the simulation across N processes "
+                             "with synchronized virtual time (flow "
+                             "digest is identical to --shards 1)")
     p_frun.set_defaults(func=_cmd_fabric_run)
 
     p_fsweep = fab_sub.add_parser(

@@ -1,0 +1,21 @@
+"""Cross-process simulation sharding (SimBricks-style composition).
+
+One fabric simulation split into shards, each with its own event queue
+in its own OS process, coupled through the latency-tolerant link
+channels of :mod:`repro.sim.channel`.  See :mod:`repro.dist.shard` and
+``docs/sharding.md``.
+"""
+
+from repro.dist.shard import (
+    ShardCrashError,
+    ShardPlan,
+    plan_fabric_shards,
+    run_fabric_sharded,
+)
+
+__all__ = [
+    "ShardCrashError",
+    "ShardPlan",
+    "plan_fabric_shards",
+    "run_fabric_sharded",
+]

@@ -15,6 +15,11 @@ from repro.harness.runner import (
     run_fixed_load,
     run_memcached,
 )
+from repro.harness.fabric import (
+    FabricRunResult,
+    run_fabric,
+    run_fabric_sharded,
+)
 from repro.harness.msb import MsbResult, bandwidth_sweep, find_msb
 from repro.harness.parallel import (
     ResultCache,
@@ -40,6 +45,9 @@ __all__ = [
     "build_node",
     "run_fixed_load",
     "run_memcached",
+    "FabricRunResult",
+    "run_fabric",
+    "run_fabric_sharded",
     "MsbResult",
     "bandwidth_sweep",
     "find_msb",

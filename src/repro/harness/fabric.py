@@ -130,15 +130,28 @@ def fabric_config_for(config: SystemConfig, preset: str,
 
 
 def build_fabric_rig(config: SystemConfig, preset: str, stack: str,
-                     seed: int = 0) -> Fabric:
-    """Build a fabric plus its attached flow generator, validated."""
+                     seed: int = 0, shard_plan=None,
+                     shard_id: int = 0) -> Fabric:
+    """Build a fabric plus its attached flow generator, validated.
+
+    With a ``shard_plan`` (:class:`repro.dist.shard.ShardPlan`), only the
+    components owned by ``shard_id`` are instantiated — remote ones
+    become stubs, boundary links become channel halves — and the flow
+    generator, which still synthesizes the complete deterministic
+    schedule, injects only the flows whose source host is local.
+    """
     fab_cfg = fabric_config_for(config, preset, stack)
     sim = Simulation(seed=seed)
     label = f"fabric.{preset}.{stack}"
-    fabric = build_fabric(sim, fab_cfg, name=label)
+    fabric = build_fabric(sim, fab_cfg, name=label,
+                          shard_plan=shard_plan, shard_id=shard_id)
+    flow_filter = None
+    if shard_plan is not None:
+        flow_filter = (
+            lambda flow: shard_plan.host_shard(flow.src) == shard_id)
     generator = FlowTrafficGenerator(
         sim, "flowgen", fabric.hosts, fabric.host_groups(),
-        fab_cfg.link_bandwidth_bps)
+        fab_cfg.link_bandwidth_bps, flow_filter=flow_filter)
     fabric.attach_generator(generator)
     fabric.validate_wiring()
     return fabric
@@ -308,3 +321,20 @@ def _check_fabric_sanity(fabric: Fabric, result: FabricRunResult) -> None:
         raise InvariantViolation(
             [f"harness.fabric: {msg}" for msg in fails],
             tick=fabric.sim.now, phase="harness")
+
+
+def run_fabric_sharded(config: SystemConfig, preset: str, stack: str,
+                       pattern: str = "uniform", load: float = 0.3,
+                       n_flows: int = 200, size_cdf: str = "smoke",
+                       seed: int = 0, shards: int = 2,
+                       warmup_cache: Optional[WarmupCache] = None
+                       ) -> FabricRunResult:
+    """Same contract as :func:`run_fabric`, simulated across ``shards``
+    processes — see :mod:`repro.dist.shard`.  The flow digest is
+    bit-identical to the single-process run.  Imported lazily because
+    the dist layer builds on this module.
+    """
+    from repro.dist.shard import run_fabric_sharded as _impl
+    return _impl(config, preset, stack, pattern=pattern, load=load,
+                 n_flows=n_flows, size_cdf=size_cdf, seed=seed,
+                 shards=shards, warmup_cache=warmup_cache)

@@ -25,12 +25,13 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.loadgen.distributions import ExponentialInterArrival
 from repro.sim.checkpoint import CheckpointError
 from repro.sim.rng import DeterministicRng
 from repro.sim.simobject import SimObject, Simulation
+from repro.sim.stats import Distribution
 from repro.sim.ticks import TICKS_PER_SEC, ticks_to_us
 
 FLOW_PROTO_TCPISH = 3  # protocol column in the trace format
@@ -340,6 +341,39 @@ class FlowRecord:
                 self.start_tick, self.end_tick)
 
 
+def flow_digest_from(window_started: int, record_tuples: Iterable[Tuple]
+                     ) -> str:
+    """SHA-256 over a window's completion records (sorted).
+
+    The one digest definition both the live generator and the sharded
+    runner's merge use, so a merged multi-process window hashes
+    identically to the single-process window it reproduces.
+    """
+    payload = {
+        "started": window_started,
+        "records": sorted(tuple(t) for t in record_tuples),
+    }
+    blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def fct_summary_from(records: Iterable[FlowRecord]) -> dict:
+    """FCT percentile summary rebuilt from completion records.
+
+    Samples are fed in ``(end_tick, flow_id)`` order — the order the
+    completions fired in a single event queue — so the summary of a
+    cross-shard merge matches the live generator's bit for bit.
+    """
+    dist = Distribution("fct_us")
+    for r in sorted(records, key=lambda r: (r.end_tick, r.flow_id)):
+        dist.sample(r.fct_us)
+    summary = dict(dist.summary())
+    if dist.count:
+        summary["p50"] = dist.percentile(50.0)
+        summary["p999"] = dist.percentile(99.9)
+    return summary
+
+
 class FlowTrafficGenerator(SimObject):
     """Open-loop flow source driving a set of fabric hosts.
 
@@ -353,13 +387,19 @@ class FlowTrafficGenerator(SimObject):
     """
 
     def __init__(self, sim: Simulation, name: str, hosts: Sequence,
-                 groups: Sequence[int], link_bandwidth_bps: float) -> None:
+                 groups: Sequence[int], link_bandwidth_bps: float,
+                 flow_filter: Optional[Callable[[Flow], bool]] = None
+                 ) -> None:
         super().__init__(sim, name)
         if len(hosts) != len(groups):
             raise ValueError("one group id per host required")
         self.hosts = list(hosts)
         self.groups = list(groups)
         self.link_bandwidth_bps = link_bandwidth_bps
+        #: Injection predicate for sharded runs: every shard's replica
+        #: synthesizes the identical full schedule (same RNG draws) but
+        #: injects only the flows whose source host it owns.
+        self._flow_filter = flow_filter
         self.active = False
         self._config: Optional[FlowGenConfig] = None
         self._pending: List[Flow] = []
@@ -389,11 +429,21 @@ class FlowTrafficGenerator(SimObject):
                                     self.link_bandwidth_bps, config,
                                     first_flow_id=self._next_flow_id,
                                     start_tick=self.now)
+        # Flow ids advance by the FULL schedule before any locality
+        # filter, so replicas in different shards stay id-aligned.
         self._next_flow_id += len(self._pending)
+        if self._flow_filter is not None:
+            self._pending = [f for f in self._pending
+                             if self._flow_filter(f)]
         self._cursor = 0
-        self.active = True
         self.trace("flowgen", "start", pattern=config.pattern,
                    load=config.load, n_flows=config.n_flows)
+        if not self._pending:
+            # This shard owns none of the phase's sources: the phase is
+            # over before it starts (peers still run theirs).
+            self.trace("flowgen", "done")
+            return
+        self.active = True
         self.schedule(self._arrival, self._pending[0].start_tick)
 
     def _on_arrival(self) -> None:
@@ -445,12 +495,8 @@ class FlowTrafficGenerator(SimObject):
         clocks, and the global packet-id counter — the determinism
         anchor for reruns, goldens, and restore-equivalence.
         """
-        payload = {
-            "started": self._window_started,
-            "records": sorted(r.as_tuple() for r in self._records),
-        }
-        blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        return flow_digest_from(self._window_started,
+                                (r.as_tuple() for r in self._records))
 
     def on_stats_reset(self) -> None:
         self._records = []

@@ -42,6 +42,7 @@ from repro.net.packet import (
     Packet,
 )
 from repro.nic.phy import EtherLink, EtherPort
+from repro.sim.channel import ChannelHalf
 from repro.sim.checkpoint import CheckpointError, seal, verify
 from repro.sim.event_queue import EventPool, batching_enabled
 from repro.sim.simobject import SimObject, Simulation
@@ -540,6 +541,58 @@ class FabricConfig:
         return self.leaves * self.hosts_per_leaf
 
 
+class _RemotePort:
+    """Name-and-owner placeholder for a port that lives in another shard."""
+
+    __slots__ = ("name", "shard")
+
+    def __init__(self, name: str, shard: int) -> None:
+        self.name = name
+        self.shard = shard
+
+
+class _RemoteHostStub:
+    """Placeholder for a host owned by another shard.
+
+    Keeps host indexing, group membership and MAC resolution identical
+    to the single-process build (the replicated flow generator and the
+    routing tables need all of those), while costing nothing to
+    simulate: it owns no SimObject, no ports, no events.
+    """
+
+    def __init__(self, name: str, host_id: int, group: int,
+                 shard: int) -> None:
+        self.name = name
+        self.host_id = host_id
+        self.group = group
+        self.shard = shard
+        self.mac = host_mac(host_id)
+        self.port = _RemotePort(f"{name}.port", shard)
+        self.on_flow_complete = None
+
+    def set_peers(self, macs: Sequence[MacAddress]) -> None:
+        pass
+
+
+class _RemoteSwitchStub:
+    """Placeholder for a switch owned by another shard.
+
+    Exposes just enough surface for the builders to wire and route
+    around it — a ports list and no-op route installation."""
+
+    def __init__(self, name: str, radix: int, shard: int) -> None:
+        self.name = name
+        self.shard = shard
+        self.ports = [_RemotePort(f"{name}.p{i}", shard)
+                      for i in range(radix)]
+
+    def add_route(self, dst: MacAddress, out_ports: Sequence[int]) -> None:
+        pass
+
+    def set_default_route(self, out_ports: Sequence[int]) -> None:
+        pass
+
+
 class Fabric:
     """A built fabric: hosts + switches + links + the wiring graph.
 
@@ -547,41 +600,96 @@ class Fabric:
     ``run_us`` / ``drain_to_quiescence`` / ``reset_measurement`` /
     ``checkpoint`` / ``restore`` — so the warm-up cache, the sweep
     executor and the CLI drive a fabric exactly like a single node.
+
+    With a ``shard_plan`` (see :mod:`repro.dist.shard`) the builders
+    construct only this shard's slice of the topology: remote hosts and
+    switches become lightweight stubs (indexing and routing stay
+    byte-identical to the full build), and every link whose far endpoint
+    is remote becomes a :class:`~repro.sim.channel.ChannelHalf` under
+    the same link name — the SimBricks-style boundary the shard runner
+    synchronizes over.  ``hosts`` / ``switches`` keep full-topology
+    indexing (stubs included); ``local_hosts`` / ``local_switches`` are
+    the simulated subset every aggregate below reads.
     """
 
     def __init__(self, sim: Simulation, config: FabricConfig,
-                 label: str) -> None:
+                 label: str, shard_plan=None, shard_id: int = 0) -> None:
         self.sim = sim
         self.config = config
         self.label = label
+        self.shard_plan = shard_plan
+        self.shard_id = shard_id
         from repro.system.topology import Topology
         self.topology = Topology(label)
         self.hosts: List[FabricHost] = []
         self.switches: List[OutputQueuedSwitch] = []
+        self.local_hosts: List[FabricHost] = []
+        self.local_switches: List[OutputQueuedSwitch] = []
         self.links: List[EtherLink] = []
+        self.channels: List[ChannelHalf] = []
         self.generator: Optional[FlowTrafficGenerator] = None
 
     # -- construction helpers (used by the builders) -------------------------
 
+    def _host_owner(self, host_id: int) -> int:
+        if self.shard_plan is None:
+            return self.shard_id
+        return self.shard_plan.host_shard(host_id)
+
+    def _switch_owner(self, full_name: str) -> int:
+        if self.shard_plan is None:
+            return self.shard_id
+        logical = full_name[len(self.label) + 1:]
+        return self.shard_plan.switch_shard(logical)
+
     def _add_host(self, host: FabricHost) -> FabricHost:
         self.hosts.append(host)
+        self.local_hosts.append(host)
         self.topology.add(host.name, host)
         return host
 
     def _add_switch(self, switch: OutputQueuedSwitch) -> OutputQueuedSwitch:
         self.switches.append(switch)
+        self.local_switches.append(switch)
         self.topology.add(switch.name, switch)
         return switch
 
-    def _link(self, name: str, a: EtherPort, b: EtherPort) -> EtherLink:
-        link = EtherLink(
-            self.sim, name,
+    def _switch(self, name: str, radix: int):
+        """Build a switch — real when this shard owns it, stub otherwise."""
+        owner = self._switch_owner(name)
+        if owner != self.shard_id:
+            stub = _RemoteSwitchStub(name, radix, owner)
+            self.switches.append(stub)
+            return stub
+        return self._add_switch(OutputQueuedSwitch(
+            self.sim, name, _switch_config(self.config, radix)))
+
+    def _link(self, name: str, a: EtherPort, b: EtherPort):
+        """Wire two ports: an :class:`EtherLink` when both endpoints are
+        local, a :class:`ChannelHalf` when exactly one is, nothing when
+        the link lies entirely in other shards."""
+        a_remote = isinstance(a, _RemotePort)
+        b_remote = isinstance(b, _RemotePort)
+        if a_remote and b_remote:
+            return None
+        if not a_remote and not b_remote:
+            link = EtherLink(
+                self.sim, name,
+                bandwidth_bits_per_sec=self.config.link_bandwidth_bps,
+                delay_ticks=ns_to_ticks(self.config.link_delay_ns))
+            link.connect(a, b)
+            self.links.append(link)
+            self.topology.add(name, link)
+            return link
+        local_port, remote_port = (b, a) if a_remote else (a, b)
+        half = ChannelHalf(
+            self.sim, name, peer_shard=remote_port.shard,
             bandwidth_bits_per_sec=self.config.link_bandwidth_bps,
             delay_ticks=ns_to_ticks(self.config.link_delay_ns))
-        link.connect(a, b)
-        self.links.append(link)
-        self.topology.add(name, link)
-        return link
+        half.attach(local_port)
+        self.channels.append(half)
+        self.topology.add(name, half)
+        return half
 
     def _finish_build(self) -> None:
         macs = [h.mac for h in self.hosts]
@@ -594,18 +702,24 @@ class Fabric:
 
         def flow_conservation(final: bool):
             # Exact only once every FIFO and wire has drained, so it
-            # asserts at final check time at quiescence.
+            # asserts at final check time at quiescence.  Sharded, the
+            # law closes over the channel boundary: frames entering this
+            # shard (local sends + channel ingress) equal frames leaving
+            # it (serviced + dropped + channel egress).
             if not final or not fabric.quiescent():
                 return None
-            sent = sum(h._tx_frames for h in fabric.hosts)
-            processed = sum(h._processed for h in fabric.hosts)
-            host_drops = sum(h._dropped for h in fabric.hosts)
+            sent = sum(h._tx_frames for h in fabric.local_hosts)
+            processed = sum(h._processed for h in fabric.local_hosts)
+            host_drops = sum(h._dropped for h in fabric.local_hosts)
             switch_drops = sum(sum(s._drops.values())
-                               for s in fabric.switches)
-            if sent != processed + host_drops + switch_drops:
+                               for s in fabric.local_switches)
+            ch_in = sum(c.frames_in for c in fabric.channels)
+            ch_out = sum(c.frames_out for c in fabric.channels)
+            if sent + ch_in != processed + host_drops + switch_drops + ch_out:
                 return [
-                    f"sent {sent} != processed {processed} + host drops "
-                    f"{host_drops} + switch drops {switch_drops}"]
+                    f"sent {sent} + channel-in {ch_in} != processed "
+                    f"{processed} + host drops {host_drops} + switch drops "
+                    f"{switch_drops} + channel-out {ch_out}"]
             return None
 
         self.sim.invariants.register(f"{self.label}.flow-conservation",
@@ -616,7 +730,7 @@ class Fabric:
             raise RuntimeError(f"{self.label} already has a generator")
         self.generator = generator
         self.topology.add("flowgen", generator)
-        for host in self.hosts:
+        for host in self.local_hosts:
             host.on_flow_complete = generator.flow_completed
 
     # -- introspection -------------------------------------------------------
@@ -631,17 +745,19 @@ class Fabric:
         return self.topology.to_dot()
 
     def quiescent(self) -> bool:
-        """No frame anywhere: switch FIFOs, host RX queues, wires."""
-        return (all(s.occupancy == 0 for s in self.switches)
-                and all(h.quiescent() for h in self.hosts)
+        """No frame anywhere: switch FIFOs, host RX queues, wires, and
+        (sharded) the channel boundary this shard is responsible for."""
+        return (all(s.occupancy == 0 for s in self.local_switches)
+                and all(h.quiescent() for h in self.local_hosts)
                 and all(count == 0
                         for link in self.links
-                        for count in link._in_flight.values()))
+                        for count in link._in_flight.values())
+                and all(half.in_flight == 0 for half in self.channels))
 
     def per_switch_drops(self) -> Dict[str, Dict[str, int]]:
         """Window drop counts by switch name and cause (nonzero only)."""
         out = {}
-        for s in self.switches:
+        for s in self.local_switches:
             counts = s.drop_counts()
             if counts:
                 out[s.name] = counts
@@ -650,19 +766,19 @@ class Fabric:
     def drop_breakdown(self) -> Dict[str, int]:
         """Window drop counts aggregated by cause across the fabric."""
         totals: Dict[str, int] = {}
-        for s in self.switches:
+        for s in self.local_switches:
             for cause, n in s.drop_counts().items():
                 totals[cause] = totals.get(cause, 0) + n
-        for h in self.hosts:
+        for h in self.local_hosts:
             for cause, n in h.drop_counts().items():
                 totals[cause] = totals.get(cause, 0) + n
         return totals
 
     def frames_sent(self) -> int:
-        return sum(h.stat_tx.value for h in self.hosts)
+        return sum(h.stat_tx.value for h in self.local_hosts)
 
     def frames_delivered(self) -> int:
-        return sum(h.stat_processed.value for h in self.hosts)
+        return sum(h.stat_processed.value for h in self.local_hosts)
 
     # -- simulation control --------------------------------------------------
 
@@ -769,7 +885,12 @@ def _switch_config(config: FabricConfig, radix: int) -> SwitchConfig:
 
 
 def _make_host(fabric: Fabric, sim: Simulation, config: FabricConfig,
-               name: str, host_id: int, group: int) -> FabricHost:
+               name: str, host_id: int, group: int):
+    owner = fabric._host_owner(host_id)
+    if owner != fabric.shard_id:
+        stub = _RemoteHostStub(name, host_id, group, owner)
+        fabric.hosts.append(stub)
+        return stub
     service_ticks = ns_to_ticks(config.host_service_ns or 1.0)
     return fabric._add_host(FabricHost(
         sim, name, host_id, group,
@@ -779,7 +900,8 @@ def _make_host(fabric: Fabric, sim: Simulation, config: FabricConfig,
 
 
 def build_fat_tree(sim: Simulation, config: FabricConfig,
-                   name: str = "fabric") -> Fabric:
+                   name: str = "fabric", shard_plan=None,
+                   shard_id: int = 0) -> Fabric:
     """A K-ary fat-tree: ``k`` pods of ``k/2`` edge + ``k/2`` aggregation
     switches, ``(k/2)^2`` core switches, ``k^3/4`` hosts.
 
@@ -792,17 +914,15 @@ def build_fat_tree(sim: Simulation, config: FabricConfig,
     k = config.k
     half = k // 2
     hosts_per_pod = half * half
-    fabric = Fabric(sim, config, name)
+    fabric = Fabric(sim, config, name, shard_plan=shard_plan,
+                    shard_id=shard_id)
 
-    edges = [[fabric._add_switch(OutputQueuedSwitch(
-        sim, f"{name}.pod{p}.edge{i}", _switch_config(config, k)))
-        for i in range(half)] for p in range(k)]
-    aggs = [[fabric._add_switch(OutputQueuedSwitch(
-        sim, f"{name}.pod{p}.agg{j}", _switch_config(config, k)))
-        for j in range(half)] for p in range(k)]
-    cores = [fabric._add_switch(OutputQueuedSwitch(
-        sim, f"{name}.core{c}", _switch_config(config, k)))
-        for c in range(half * half)]
+    edges = [[fabric._switch(f"{name}.pod{p}.edge{i}", k)
+              for i in range(half)] for p in range(k)]
+    aggs = [[fabric._switch(f"{name}.pod{p}.agg{j}", k)
+             for j in range(half)] for p in range(k)]
+    cores = [fabric._switch(f"{name}.core{c}", k)
+             for c in range(half * half)]
 
     hosts = []
     for h in range(config.n_hosts):
@@ -857,7 +977,8 @@ def build_fat_tree(sim: Simulation, config: FabricConfig,
 
 
 def build_leaf_spine(sim: Simulation, config: FabricConfig,
-                     name: str = "fabric") -> Fabric:
+                     name: str = "fabric", shard_plan=None,
+                     shard_id: int = 0) -> Fabric:
     """A two-tier leaf-spine: every leaf connects to every spine.
 
     Leaf ``l`` uses ports ``0 .. hosts_per_leaf-1`` for its hosts and
@@ -868,14 +989,13 @@ def build_leaf_spine(sim: Simulation, config: FabricConfig,
     """
     leaves_n, spines_n, per_leaf = (config.leaves, config.spines,
                                     config.hosts_per_leaf)
-    fabric = Fabric(sim, config, name)
+    fabric = Fabric(sim, config, name, shard_plan=shard_plan,
+                    shard_id=shard_id)
 
-    leaves = [fabric._add_switch(OutputQueuedSwitch(
-        sim, f"{name}.leaf{li}", _switch_config(config, per_leaf + spines_n)))
-        for li in range(leaves_n)]
-    spines = [fabric._add_switch(OutputQueuedSwitch(
-        sim, f"{name}.spine{s}", _switch_config(config, leaves_n)))
-        for s in range(spines_n)]
+    leaves = [fabric._switch(f"{name}.leaf{li}", per_leaf + spines_n)
+              for li in range(leaves_n)]
+    spines = [fabric._switch(f"{name}.spine{s}", leaves_n)
+              for s in range(spines_n)]
 
     hosts = []
     for h in range(leaves_n * per_leaf):
@@ -906,8 +1026,15 @@ def build_leaf_spine(sim: Simulation, config: FabricConfig,
 
 
 def build_fabric(sim: Simulation, config: FabricConfig,
-                 name: str = "fabric") -> Fabric:
-    """Builder dispatch on :attr:`FabricConfig.topology`."""
+                 name: str = "fabric", shard_plan=None,
+                 shard_id: int = 0) -> Fabric:
+    """Builder dispatch on :attr:`FabricConfig.topology`.
+
+    ``shard_plan`` / ``shard_id`` (see
+    :func:`repro.dist.shard.plan_fabric_shards`) build only one shard's
+    slice, with cross-shard links as channel halves."""
     if config.topology == "fat_tree":
-        return build_fat_tree(sim, config, name=name)
-    return build_leaf_spine(sim, config, name=name)
+        return build_fat_tree(sim, config, name=name,
+                              shard_plan=shard_plan, shard_id=shard_id)
+    return build_leaf_spine(sim, config, name=name,
+                            shard_plan=shard_plan, shard_id=shard_id)

@@ -229,9 +229,12 @@ class PacketPort(Port):
     """A symmetric Ethernet-frame endpoint.
 
     Packet ports bind peer-to-peer through an
-    :class:`~repro.nic.phy.EtherLink` (or a
-    :class:`~repro.system.dist.DistPortAdapter`), which supplies the
-    binding's bandwidth/latency metadata.
+    :class:`~repro.nic.phy.EtherLink` (or, when the far end lives in
+    another simulation, a proxy that stands in for the remote half of
+    the cable: a :class:`~repro.system.dist.DistPortAdapter` within one
+    process, a :class:`~repro.sim.channel.ChannelHalf` across
+    processes), which supplies the binding's bandwidth/latency
+    metadata.
     """
 
     def __init__(self, owner, name: str, external: bool = False) -> None:

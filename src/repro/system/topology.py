@@ -124,6 +124,33 @@ class Topology:
         return [port for _label, port in self.ports()
                 if not port.bound and port.external]
 
+    def edges(self) -> List[Tuple[str, Port, str, Port, dict]]:
+        """Deduplicated bound port pairs within this topology.
+
+        Each edge appears once as ``(label_a, port_a, label_b, port_b,
+        metadata)`` in creation order.  Bindings whose peer component is
+        not registered here are skipped (they belong to another
+        topology — or another shard).  The shard partitioner's tests use
+        this to prove a sharded build has no direct binding between
+        components owned by different shards: every cut edge must go
+        through a channel half instead.
+        """
+        label_of = {id(comp): label
+                    for label, comp in self._components.items()}
+        seen = set()
+        out: List[Tuple[str, Port, str, Port, dict]] = []
+        for label, port in self.ports():
+            for peer, meta in zip(port.peers, port.bind_metadata):
+                peer_label = label_of.get(id(peer.owner))
+                if peer_label is None:
+                    continue
+                key = frozenset((id(port), id(peer)))
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append((label, port, peer_label, peer, meta))
+        return out
+
     # -- validation --------------------------------------------------------
 
     def validate(self) -> None:

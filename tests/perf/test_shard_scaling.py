@@ -1,0 +1,57 @@
+"""Wall-clock budget: 2-shard vs single-process on the 10k-flow run.
+
+Informative by default (print + warn), strict under
+``REPRO_PERF_STRICT=1`` — same policy as tests/perf/test_budgets.py.
+
+At the K=4 fabric's model cost the sharded run carries real
+conservative-sync overhead (a queue round-trip per epoch per peer), so
+the budget bounds the *overhead ratio* against the single-process run
+rather than demanding a speedup; ``bench_results/shard_scaling.txt``
+records the measured numbers and the reasoning.  The digest equality
+check is a hard assertion either way — speed may vary with the host,
+correctness may not.
+"""
+
+import os
+import time
+import warnings
+
+from repro.dist.shard import run_fabric_sharded
+from repro.harness.fabric import run_fabric
+from repro.system.presets import gem5_default
+
+STRICT = os.environ.get("REPRO_PERF_STRICT") == "1"
+
+#: 2-shard wall clock may be at most this multiple of single-process
+#: (measured 1.25x on the development box; generous margin for CI).
+SHARD_OVERHEAD_RATIO = 5.0
+
+
+def _check(name: str, value: float, budget: float) -> None:
+    detail = f"{name}: {value:,.2f} (budget {budget:,.2f})"
+    print(detail)
+    if STRICT:
+        assert value <= budget, detail
+    elif value > budget:
+        warnings.warn(f"perf budget exceeded (informative only, "
+                      f"set REPRO_PERF_STRICT=1 to enforce): {detail}")
+
+
+def test_two_shard_overhead_on_10k_flow_run():
+    config = gem5_default()
+    args = dict(pattern="uniform", load=0.5, n_flows=10_000, seed=0)
+
+    t0 = time.perf_counter()
+    single = run_fabric(config, "fat-tree-k4", "dpdk", **args)
+    single_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sharded = run_fabric_sharded(config, "fat-tree-k4", "dpdk",
+                                 shards=2, **args)
+    sharded_s = time.perf_counter() - t0
+
+    assert sharded.flow_digest == single.flow_digest
+    print(f"10k-flow k4 run: single {single_s:.2f}s, "
+          f"2 shards {sharded_s:.2f}s")
+    _check("2-shard/single wall-clock ratio", sharded_s / single_s,
+           SHARD_OVERHEAD_RATIO)

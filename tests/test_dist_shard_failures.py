@@ -1,0 +1,68 @@
+"""Failure semantics of the multiprocess shard runner.
+
+A shard that dies mid-epoch must surface as a :class:`ShardCrashError`
+naming the dead shard — promptly (the coordinator polls liveness while
+waiting on responses, it does not sit out a full command timeout) — and
+teardown must leave neither deadlocked peers nor orphan processes.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.dist import ShardCrashError
+from repro.dist.shard import run_fabric_sharded
+from repro.system.presets import gem5_default
+
+
+def _shard_children():
+    return [p for p in multiprocessing.active_children()
+            if p.name.startswith("repro-shard-")]
+
+
+def _run_with_crash(crash, shards=2):
+    return run_fabric_sharded(
+        gem5_default(), "fat-tree-k4", "dpdk", pattern="uniform",
+        load=0.35, n_flows=100, seed=0, shards=shards, _crash=crash)
+
+
+def test_crash_mid_epoch_raises_named_error_without_orphans():
+    t0 = time.monotonic()
+    with pytest.raises(ShardCrashError) as excinfo:
+        _run_with_crash(crash=(1, 5))
+    elapsed = time.monotonic() - t0
+
+    # The error identifies the shard that died, not just "a failure".
+    assert excinfo.value.shard_id == 1
+    assert "shard 1" in str(excinfo.value)
+
+    # Bounded: liveness polling catches the death within seconds; the
+    # surviving peer is torn down without waiting out its 60s
+    # peer-receive backstop.
+    assert elapsed < 30.0, f"crash detection took {elapsed:.1f}s"
+
+    # No orphans: every worker process is joined or killed.
+    deadline = time.monotonic() + 5.0
+    while _shard_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert _shard_children() == []
+
+
+def test_crash_in_first_epoch_of_four_shards():
+    with pytest.raises(ShardCrashError) as excinfo:
+        _run_with_crash(crash=(3, 0), shards=4)
+    assert excinfo.value.shard_id == 3
+    deadline = time.monotonic() + 5.0
+    while _shard_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert _shard_children() == []
+
+
+def test_clean_run_leaves_no_processes_behind():
+    result = _run_with_crash(crash=None)
+    assert result.flows_completed > 0
+    deadline = time.monotonic() + 5.0
+    while _shard_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert _shard_children() == []
